@@ -1,0 +1,42 @@
+"""Experiment E5 — Figures 12–17: per-query cost-vs-effort scatter series.
+
+For each of the six benchmark queries, the appendix plots the evaluation
+time of the 10 cheapest ConCov decompositions against both cost functions.
+The reproduced series print the same columns; the key qualitative check is
+that every decomposition of a query returns the same answer and that the
+cost functions vary across decompositions (so the scatter is not degenerate).
+"""
+
+import pytest
+
+from conftest import BENCH_SCALE, write_result
+
+from repro.experiments.figures import (
+    APPENDIX_FIGURES,
+    appendix_figure_rows,
+    render_appendix_figure,
+)
+
+
+@pytest.mark.parametrize("figure", sorted(APPENDIX_FIGURES))
+def test_appendix_figure(benchmark, figure):
+    rows, baseline = benchmark.pedantic(
+        lambda: appendix_figure_rows(figure, scale=BENCH_SCALE, limit=10),
+        rounds=1,
+        iterations=1,
+    )
+    text = render_appendix_figure(figure, scale=BENCH_SCALE, limit=10)
+    print()
+    print(text)
+    write_result(figure, text)
+
+    assert rows, f"no decompositions for {figure}"
+    assert len({row["result"] for row in rows}) == 1
+    assert baseline is not None
+    assert rows[0]["result"] == baseline["result"]
+    # Costs are positive and the series is not completely flat unless only a
+    # single decomposition exists.
+    assert all(row["cost_cardinalities"] > 0 for row in rows)
+    assert all(row["cost_estimates"] > 0 for row in rows)
+    if len(rows) > 3:
+        assert len({round(row["cost_cardinalities"], 3) for row in rows}) > 1

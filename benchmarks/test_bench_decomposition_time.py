@@ -1,0 +1,38 @@
+"""Experiment E9 — decomposition time (Section 7: "a few milliseconds").
+
+The paper reports that enumerating all cost-ranked candidate tree
+decompositions takes only milliseconds per query (Table 1, last column) and
+therefore never becomes a bottleneck compared to query execution.  This
+benchmark measures the actual enumeration step per query with
+pytest-benchmark's timer (several rounds, since it is genuinely fast).
+"""
+
+import pytest
+
+from conftest import BENCH_SCALE
+
+from repro.experiments.harness import QueryExperiment
+from repro.workloads.registry import benchmark_queries
+
+_ENTRIES = {entry.name: entry for entry in benchmark_queries()}
+
+
+@pytest.mark.parametrize("name", sorted(_ENTRIES))
+def test_top10_enumeration_time(benchmark, name):
+    entry = _ENTRIES[name]
+    database, query = entry.load(scale=BENCH_SCALE)
+    experiment = QueryExperiment(database, query, entry.width, name=name)
+    # Warm the per-bag cost caches once so the benchmark isolates the
+    # enumeration itself (the paper's tool also reuses DBMS statistics).
+    experiment.ranked_decompositions(limit=10)
+
+    def enumerate_top10():
+        decompositions, _ = experiment.ranked_decompositions(limit=10)
+        return decompositions
+
+    decompositions = benchmark(enumerate_top10)
+    assert decompositions
+    constraint = experiment.concov_constraint()
+    for decomposition in decompositions:
+        assert decomposition.is_valid()
+        assert constraint.holds_recursively(decomposition)

@@ -1,0 +1,49 @@
+"""Experiments E2 and E3 — Figure 6: the Hetionet queries q_hto and q_hto2.
+
+Left/middle charts: the 10 cheapest ConCov width-2 decompositions per query,
+with the baseline far above all of them.  Right chart: the average effort of
+random width-2 decompositions with and without the ConCov constraint — the
+constraint alone already yields a multiple-factor improvement.
+"""
+
+from conftest import BENCH_SCALE, write_result
+
+from repro.experiments.figures import (
+    figure6_constraint_ablation,
+    figure6_rows,
+    render_figure6,
+)
+
+
+def test_figure6_ranked_decompositions(benchmark):
+    per_query = benchmark.pedantic(
+        lambda: figure6_rows(scale=BENCH_SCALE, limit=10), rounds=1, iterations=1
+    )
+    text = render_figure6(scale=BENCH_SCALE, limit=10)
+    print()
+    print(text)
+    write_result("figure6", text)
+
+    assert set(per_query) == {"q_hto", "q_hto2"}
+    for name, (rows, baseline) in per_query.items():
+        assert rows, f"no decompositions for {name}"
+        works = [row["work"] for row in rows]
+        # Every ranked decomposition returns the baseline's answer.
+        assert {row["result"] for row in rows} == {baseline["result"]}
+        # Figure 6: all ranked ConCov decompositions beat the baseline by a
+        # clear margin (the paper reports "multiple times faster").
+        assert baseline["work"] > 2 * max(works)
+
+
+def test_figure6_constraint_ablation(benchmark):
+    rows = benchmark.pedantic(
+        lambda: figure6_constraint_ablation(scale=BENCH_SCALE, sample_size=6),
+        rounds=1,
+        iterations=1,
+    )
+    assert {row["query"] for row in rows} == {"q_hto", "q_hto2"}
+    for row in rows:
+        assert row["concov_samples"] >= 1 and row["all_samples"] >= 1
+        # Figure 6 (right): enforcing ConCov alone already reduces the
+        # average execution effort of randomly chosen decompositions.
+        assert row["concov_avg_work"] <= row["all_avg_work"] * 1.05

@@ -1,0 +1,44 @@
+"""Experiment E4 — Table 1: per-query candidate-bag statistics.
+
+Paper columns: ConCov-shw, |H|, |Soft_{H,k}|, |ConCov-Soft_{H,k}| and the
+time to produce the top-10 best TDs.  The reproduced table should show the
+same qualitative picture: single-digit to low-double-digit candidate-bag
+sets and millisecond-scale top-10 enumeration.
+"""
+
+from conftest import BENCH_SCALE, write_result
+
+from repro.experiments.figures import render_table1, table1_rows
+
+
+def test_table1(benchmark):
+    rows = benchmark.pedantic(
+        lambda: table1_rows(scale=BENCH_SCALE), rounds=1, iterations=1
+    )
+    text = render_table1(scale=BENCH_SCALE)
+    print()
+    print(text)
+    write_result("table1", text)
+
+    assert [row["query"] for row in rows] == [
+        "q_ds",
+        "q_hto",
+        "q_hto2",
+        "q_hto3",
+        "q_hto4",
+        "q_lb",
+    ]
+    by_query = {row["query"]: row for row in rows}
+    # Hypergraph sizes are structural facts and must match the paper exactly.
+    assert by_query["q_ds"]["hypergraph_size"] == 5
+    assert by_query["q_hto"]["hypergraph_size"] == 7
+    assert by_query["q_hto2"]["hypergraph_size"] == 7
+    assert by_query["q_hto3"]["hypergraph_size"] == 4
+    assert by_query["q_hto4"]["hypergraph_size"] == 6
+    assert by_query["q_lb"]["hypergraph_size"] == 6
+    # Candidate-bag sets stay small and the ConCov filter only shrinks them.
+    for row in rows:
+        assert row["soft_bags"] <= 60
+        assert row["concov_soft_bags"] <= row["soft_bags"]
+        assert row["concov_shw"] in (2, 3)
+        assert row["num_decompositions"] >= 1

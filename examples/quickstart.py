@@ -1,0 +1,63 @@
+"""Quickstart: soft hypertree width of a hypergraph / conjunctive query.
+
+Run with ``python examples/quickstart.py``.
+
+The example walks through the core API on the paper's running example
+``H2`` (Example 1 / Figure 1): candidate bags, the CandidateTD solver, soft
+hypertree width and the comparison with plain hypertree width.
+"""
+
+from repro import (
+    Hypergraph,
+    candidate_td,
+    hypergraph_h2,
+    soft_candidate_bags,
+    soft_hypertree_width,
+)
+from repro.baselines.detkdecomp import hypertree_width
+from repro.core.soft import soft_decomposition_to_ghd
+
+
+def describe_decomposition(decomposition) -> None:
+    """Print a decomposition as an indented tree of bags."""
+
+    def show(node, indent=0):
+        bag = ", ".join(sorted(map(str, decomposition.bag(node))))
+        print("    " + "  " * indent + f"[{bag}]")
+        for child in node.children:
+            show(child, indent + 1)
+
+    show(decomposition.tree.root)
+
+
+def main() -> None:
+    # A hypergraph can be built from any mapping of edge names to vertices;
+    # for a conjunctive query, use one edge per atom.
+    four_cycle = Hypergraph(
+        {"R": ["w", "x"], "S": ["x", "y"], "T": ["y", "z"], "U": ["z", "w"]}
+    )
+    width, decomposition = soft_hypertree_width(four_cycle)
+    print(f"shw of the 4-cycle query: {width}")
+    describe_decomposition(decomposition)
+
+    # The paper's example H2 separates soft hypertree width from hypertree
+    # width: shw(H2) = 2 but hw(H2) = 3.
+    h2 = hypergraph_h2()
+    bags = soft_candidate_bags(h2, 2)
+    print(f"\nH2 has {len(bags)} candidate bags in Soft_{{H2,2}}")
+
+    ctd = candidate_td(h2, bags)
+    print("A candidate tree decomposition over Soft_{H2,2}:")
+    describe_decomposition(ctd)
+
+    shw, _ = soft_hypertree_width(h2)
+    hw = hypertree_width(h2)
+    print(f"\nshw(H2) = {shw}  <  hw(H2) = {hw}")
+
+    # Soft decompositions convert to GHDs by attaching minimum edge covers.
+    ghd = soft_decomposition_to_ghd(ctd)
+    print(f"as a GHD the decomposition has width {ghd.ghd_width()}")
+
+
+if __name__ == "__main__":
+    main()

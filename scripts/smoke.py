@@ -1,0 +1,41 @@
+"""Quick development smoke check for the combinatorial core."""
+
+import time
+
+from repro.hypergraph.library import (
+    hypergraph_h2,
+    triangle_hypergraph,
+    cycle_hypergraph,
+    four_cycle_query,
+)
+from repro.core.candidate_bags import soft_candidate_bags
+from repro.core.ctd import candidate_td
+from repro.core.soft import shw_leq, soft_hypertree_width
+from repro.baselines.detkdecomp import hypertree_width
+from repro.baselines.acyclic import is_alpha_acyclic
+
+
+def main() -> None:
+    start = time.time()
+    h2 = hypergraph_h2()
+    bags2 = soft_candidate_bags(h2, 2)
+    print("Soft_{H2,2} size:", len(bags2))
+    td = candidate_td(h2, bags2)
+    print("CTD for Soft_{H2,2}:", td, "valid:", td.is_valid() if td else None)
+    print("shw(H2) <= 2:", shw_leq(h2, 2) is not None)
+    print("shw(H2) <= 1:", shw_leq(h2, 1) is not None)
+    print("shw(H2):", soft_hypertree_width(h2)[0])
+    print("hw(H2):", hypertree_width(h2))
+    tri = triangle_hypergraph()
+    print("triangle acyclic:", is_alpha_acyclic(tri))
+    print("shw(triangle):", soft_hypertree_width(tri)[0])
+    print("hw(triangle):", hypertree_width(tri))
+    c4 = four_cycle_query()
+    print("shw(C4):", soft_hypertree_width(c4)[0], "hw(C4):", hypertree_width(c4))
+    c6 = cycle_hypergraph(6)
+    print("shw(C6):", soft_hypertree_width(c6)[0], "hw(C6):", hypertree_width(c6))
+    print("elapsed: %.2fs" % (time.time() - start))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Development smoke check for the database substrate and experiment harness."""
+
+import time
+
+from repro.workloads.registry import benchmark_queries
+from repro.experiments.harness import QueryExperiment
+
+
+def main() -> None:
+    for entry in benchmark_queries():
+        start = time.time()
+        database, query = entry.load()
+        experiment = QueryExperiment(database, query, entry.width, name=entry.name)
+        hypergraph = experiment.hypergraph
+        print(f"== {entry.name} ({entry.dataset}) ==")
+        print("  atoms:", hypergraph.num_edges(), "vars:", hypergraph.num_vertices())
+        t0 = time.time()
+        soft = experiment.soft_bags
+        concov = experiment.concov_bags
+        print(f"  |Soft| = {len(soft)}  |ConCov-Soft| = {len(concov)}  ({time.time()-t0:.2f}s)")
+        decompositions, elapsed = experiment.ranked_decompositions(limit=5)
+        print(f"  top-5 CTDs in {elapsed:.3f}s, got {len(decompositions)}")
+        evaluations = experiment.evaluate(decompositions[:3])
+        for ev in evaluations:
+            print(
+                f"    rank {ev.rank}: work={ev.work} max_int={ev.metrics.max_intermediate}"
+                f" card_cost={ev.cardinality_cost:.0f} est_cost={ev.estimate_cost:.0f}"
+                f" result={ev.metrics.result} time={ev.wall_time:.3f}s"
+            )
+        baseline = experiment.baseline()
+        print(
+            f"  baseline: work={baseline.work} max_int={baseline.max_intermediate}"
+            f" result={baseline.result} time={baseline.wall_time:.3f}s"
+        )
+        print(f"  total {time.time()-start:.2f}s")
+
+
+if __name__ == "__main__":
+    main()

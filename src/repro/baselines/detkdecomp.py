@@ -1,0 +1,132 @@
+"""Hypertree width via a det-k-decomp-style backtracking search.
+
+The search follows the normal form of Gottlob, Leone and Scarcello: an HD of
+width ≤ k exists iff the recursive procedure ``decompose(C, conn)`` succeeds,
+where ``C`` is an edge component still to be covered and ``conn`` the
+interface to the parent bag.  At each step the procedure guesses a λ-label of
+at most ``k`` edges covering ``conn``, sets the bag to
+``(⋃λ) ∩ (V(C) ∪ conn)`` (which makes the special condition hold by
+construction), and recurses into the [bag]-components of ``C``.
+
+The procedure is exponential only in ``k`` (the number of λ-guesses is
+``O(|E|^k)`` per recursion node) and is memoised on (component, interface),
+which matches the behaviour of the published ``det-k-decomp`` tool.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.hypergraph.hypergraph import Edge, Hypergraph, Vertex
+from repro.hypergraph.components import edge_components
+from repro.decompositions.ghd import HypertreeDecomposition
+from repro.decompositions.tree import RootedTree, TreeNode
+
+ComponentKey = FrozenSet[str]
+Interface = FrozenSet[Vertex]
+
+
+class _DetKDecomp:
+    def __init__(self, hypergraph: Hypergraph, k: int):
+        self.hypergraph = hypergraph
+        self.k = k
+        self.edges = list(hypergraph.edges)
+        self._memo: Dict[Tuple[ComponentKey, Interface], Optional[Tuple]] = {}
+
+    def _lambda_choices(self) -> List[Tuple[Edge, ...]]:
+        choices = []
+        for size in range(1, min(self.k, len(self.edges)) + 1):
+            choices.extend(combinations(self.edges, size))
+        return choices
+
+    def _component_vertices(self, component: Tuple[Edge, ...]) -> FrozenSet[Vertex]:
+        return self.hypergraph.vertices_of(component)
+
+    def decompose(
+        self, component: Tuple[Edge, ...], interface: Interface
+    ) -> Optional[Tuple]:
+        """Return a decomposition fragment for the component, or ``None``.
+
+        A fragment is a nested tuple ``(bag, cover_names, children)``.
+        """
+        key = (frozenset(e.name for e in component), interface)
+        if key in self._memo:
+            return self._memo[key]
+        component_vertices = self._component_vertices(component)
+        result: Optional[Tuple] = None
+        for lam in self._lambda_choices():
+            cover_union = self.hypergraph.vertices_of(lam)
+            if not interface <= cover_union:
+                continue
+            bag = cover_union & (component_vertices | interface)
+            if not bag & component_vertices:
+                continue
+            restricted = self.hypergraph.restrict_edges(e.name for e in component)
+            sub_components = edge_components(restricted, bag)
+            # Progress check: every remaining component must be strictly smaller.
+            if any(len(sub) >= len(component) for sub in sub_components):
+                continue
+            children = []
+            feasible = True
+            for sub in sub_components:
+                sub_vertices = self.hypergraph.vertices_of(sub)
+                child = self.decompose(tuple(sub), frozenset(bag & sub_vertices))
+                if child is None:
+                    feasible = False
+                    break
+                children.append(child)
+            if feasible:
+                result = (bag, tuple(e.name for e in lam), tuple(children))
+                break
+        self._memo[key] = result
+        return result
+
+    def solve(self) -> Optional[HypertreeDecomposition]:
+        top_components = edge_components(self.hypergraph, frozenset())
+        fragments = []
+        for component in top_components:
+            fragment = self.decompose(tuple(component), frozenset())
+            if fragment is None:
+                return None
+            fragments.append(fragment)
+        if not fragments:
+            return None
+        return self._build(fragments)
+
+    def _build(self, fragments: List[Tuple]) -> HypertreeDecomposition:
+        tree = RootedTree()
+
+        def attach(fragment: Tuple, parent: Optional[TreeNode]) -> TreeNode:
+            bag, cover_names, children = fragment
+            cover = tuple(self.hypergraph.edge(name) for name in cover_names)
+            node = tree.new_node(parent, bag=frozenset(bag), cover=cover)
+            for child in children:
+                attach(child, node)
+            return node
+
+        root = attach(fragments[0], None)
+        for fragment in fragments[1:]:
+            attach(fragment, root)
+        return HypertreeDecomposition(self.hypergraph, tree)
+
+
+def hw_leq(hypergraph: Hypergraph, k: int) -> bool:
+    """Decide ``hw(H) ≤ k``."""
+    return hd_of_width(hypergraph, k) is not None
+
+
+def hd_of_width(hypergraph: Hypergraph, k: int) -> Optional[HypertreeDecomposition]:
+    """An HD of width ≤ k, or ``None`` if none exists."""
+    if k < 1:
+        return None
+    return _DetKDecomp(hypergraph, k).solve()
+
+
+def hypertree_width(hypergraph: Hypergraph, max_k: Optional[int] = None) -> int:
+    """``hw(H)`` by increasing ``k`` until an HD is found."""
+    limit = max_k if max_k is not None else max(1, hypergraph.num_edges())
+    for k in range(1, limit + 1):
+        if hw_leq(hypergraph, k):
+            return k
+    raise ValueError(f"hypertree width exceeds {limit}")

@@ -1,0 +1,112 @@
+"""Treewidth of (the Gaifman graph of) a hypergraph.
+
+Treewidth is not central to the paper, but it anchors the width hierarchy
+(``fhw ≤ ghw ≤ shw ≤ hw`` all relate to bags that are unions of few edges,
+whereas treewidth counts vertices) and the Bouchitté–Todinca line of work the
+CandidateTD framework builds on.  We provide an exact elimination-ordering
+dynamic program for small vertex counts and the classical min-fill heuristic
+as an upper bound for everything else.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.hypergraph.hypergraph import Hypergraph, Vertex
+from repro.hypergraph.gaifman import gaifman_graph
+
+
+def _adjacency(hypergraph: Hypergraph) -> Dict[Vertex, Set[Vertex]]:
+    return {v: set(neigh) for v, neigh in gaifman_graph(hypergraph).items()}
+
+
+def treewidth_min_fill(hypergraph: Hypergraph) -> int:
+    """An upper bound on treewidth via the min-fill elimination heuristic."""
+    adjacency = _adjacency(hypergraph)
+    width = 0
+    while adjacency:
+        # Pick the vertex whose elimination adds the fewest fill edges.
+        def fill_cost(vertex: Vertex) -> int:
+            neighbours = adjacency[vertex]
+            missing = 0
+            neighbour_list = list(neighbours)
+            for i, u in enumerate(neighbour_list):
+                for w in neighbour_list[i + 1:]:
+                    if w not in adjacency[u]:
+                        missing += 1
+            return missing
+
+        vertex = min(adjacency, key=lambda v: (fill_cost(v), len(adjacency[v]), str(v)))
+        neighbours = adjacency[vertex]
+        width = max(width, len(neighbours))
+        neighbour_list = list(neighbours)
+        for i, u in enumerate(neighbour_list):
+            for w in neighbour_list[i + 1:]:
+                adjacency[u].add(w)
+                adjacency[w].add(u)
+        for u in neighbour_list:
+            adjacency[u].discard(vertex)
+        del adjacency[vertex]
+    return width
+
+
+def treewidth_exact(hypergraph: Hypergraph, max_vertices: int = 18) -> int:
+    """Exact treewidth via the Held–Karp style elimination DP.
+
+    Exponential in the number of vertices; refuses inputs larger than
+    ``max_vertices``.
+    """
+    vertices = sorted(map(str, hypergraph.vertices))
+    n = len(vertices)
+    if n > max_vertices:
+        raise ValueError(
+            f"exact treewidth limited to {max_vertices} vertices, got {n}"
+        )
+    index = {v: i for i, v in enumerate(vertices)}
+    adjacency_sets = [0] * n
+    base = _adjacency(hypergraph)
+    reverse = {str(v): v for v in hypergraph.vertices}
+    for v_str, i in index.items():
+        for u in base[reverse[v_str]]:
+            adjacency_sets[i] |= 1 << index[str(u)]
+
+    full = (1 << n) - 1
+
+    @lru_cache(maxsize=None)
+    def q_set(subset: int, vertex: int) -> int:
+        """Vertices outside ``subset`` reachable from ``vertex`` through ``subset``."""
+        seen = 1 << vertex
+        frontier = [vertex]
+        reach = 0
+        while frontier:
+            current = frontier.pop()
+            neighbours = adjacency_sets[current]
+            inside = neighbours & subset
+            outside = neighbours & ~subset & ~ (1 << vertex)
+            reach |= outside
+            rest = inside & ~seen
+            while rest:
+                low = rest & -rest
+                rest ^= low
+                nxt = low.bit_length() - 1
+                seen |= low
+                frontier.append(nxt)
+        return reach & ~(1 << vertex)
+
+    @lru_cache(maxsize=None)
+    def tw(subset: int) -> int:
+        """Treewidth of the graph where ``subset`` vertices are eliminated first."""
+        if subset == 0:
+            return -1
+        best = n
+        rest = subset
+        while rest:
+            low = rest & -rest
+            rest ^= low
+            vertex = low.bit_length() - 1
+            cost = bin(q_set(subset & ~(1 << vertex), vertex)).count("1")
+            best = min(best, max(cost, tw(subset & ~(1 << vertex))))
+        return best
+
+    return tw(full)

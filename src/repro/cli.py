@@ -1,0 +1,181 @@
+"""Command-line interface.
+
+The CLI mirrors how the published decomposition tools (detkdecomp,
+BalancedGo, the paper's own prototype) are driven: hypergraphs come in as
+HyperBench-format text files, widths and decompositions go out as text.
+
+Usage (also available as ``python -m repro``)::
+
+    python -m repro width QUERY.hg --measure shw -k 3
+    python -m repro decompose QUERY.hg -k 2 --concov
+    python -m repro stats QUERY.hg
+    python -m repro experiment q_hto3 --limit 5
+    python -m repro table1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.hypergraph.io import parse_hyperbench
+from repro.hypergraph.stats import hypergraph_statistics
+
+
+def _load_hypergraph(path: str):
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_hyperbench(handle.read())
+
+
+def _print_decomposition(decomposition, out) -> None:
+    def walk(node, depth=0):
+        bag = ", ".join(sorted(map(str, decomposition.bag(node))))
+        print("  " * depth + f"[{bag}]", file=out)
+        for child in node.children:
+            walk(child, depth + 1)
+
+    walk(decomposition.tree.root)
+
+
+def _cmd_width(args, out) -> int:
+    hypergraph = _load_hypergraph(args.hypergraph)
+    if args.measure == "shw":
+        from repro.core.soft import soft_hypertree_width
+
+        width, _ = soft_hypertree_width(
+            hypergraph, max_k=args.max_k, iterations=args.iterations
+        )
+    elif args.measure == "hw":
+        from repro.baselines.detkdecomp import hypertree_width
+
+        width = hypertree_width(hypergraph, max_k=args.max_k)
+    elif args.measure == "ghw":
+        from repro.baselines.ghw import generalized_hypertree_width
+
+        width, _ = generalized_hypertree_width(hypergraph, max_k=args.max_k)
+    else:
+        from repro.baselines.treewidth import treewidth_min_fill
+
+        width = treewidth_min_fill(hypergraph)
+    print(f"{args.measure} = {width}", file=out)
+    return 0
+
+
+def _cmd_decompose(args, out) -> int:
+    hypergraph = _load_hypergraph(args.hypergraph)
+    from repro.core.candidate_bags import soft_candidate_bags
+    from repro.core.constrained import constrained_candidate_td
+    from repro.core.constraints import ConnectedCoverConstraint
+
+    bags = soft_candidate_bags(hypergraph, args.width)
+    constraint = (
+        ConnectedCoverConstraint(hypergraph, args.width) if args.concov else None
+    )
+    decomposition = constrained_candidate_td(hypergraph, bags, constraint=constraint)
+    if decomposition is None:
+        label = "ConCov-shw" if args.concov else "shw"
+        print(f"no decomposition of {label} width <= {args.width}", file=out)
+        return 1
+    _print_decomposition(decomposition, out)
+    return 0
+
+
+def _cmd_stats(args, out) -> int:
+    hypergraph = _load_hypergraph(args.hypergraph)
+    for key, value in hypergraph_statistics(hypergraph).items():
+        print(f"{key}: {value}", file=out)
+    return 0
+
+
+def _cmd_experiment(args, out) -> int:
+    from repro.experiments.harness import QueryExperiment
+    from repro.experiments.report import format_figure_rows
+    from repro.workloads.registry import benchmark_query
+
+    entry = benchmark_query(args.query)
+    database, query = entry.load(scale=args.scale)
+    experiment = QueryExperiment(database, query, entry.width, name=entry.name)
+    decompositions, elapsed = experiment.ranked_decompositions(limit=args.limit)
+    evaluations = experiment.evaluate(decompositions)
+    rows = [
+        {
+            "rank": evaluation.rank,
+            "cost_cardinalities": evaluation.cardinality_cost,
+            "cost_estimates": evaluation.estimate_cost,
+            "work": evaluation.work,
+            "result": evaluation.metrics.result,
+        }
+        for evaluation in evaluations
+    ]
+    baseline = experiment.baseline()
+    text = format_figure_rows(
+        f"{entry.name}: top-{len(rows)} ConCov-shw {entry.width} decompositions "
+        f"(enumerated in {elapsed * 1000:.1f} ms)",
+        rows,
+        ["rank", "cost_cardinalities", "cost_estimates", "work", "result"],
+        ["", f"Baseline: work={baseline.work}, result={baseline.result}"],
+    )
+    print(text, file=out)
+    return 0
+
+
+def _cmd_table1(args, out) -> int:
+    from repro.experiments.figures import render_table1
+
+    print(render_table1(scale=args.scale), file=out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Soft and constrained hypertree decompositions (PODS 2025 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    width = subparsers.add_parser("width", help="compute a width measure of a hypergraph")
+    width.add_argument("hypergraph", help="HyperBench-format hypergraph file")
+    width.add_argument("--measure", choices=["shw", "hw", "ghw", "tw"], default="shw")
+    width.add_argument("-k", "--max-k", type=int, default=None, dest="max_k")
+    width.add_argument("--iterations", type=int, default=0, help="shw_i iteration level")
+    width.set_defaults(handler=_cmd_width)
+
+    decompose = subparsers.add_parser("decompose", help="compute a soft decomposition")
+    decompose.add_argument("hypergraph")
+    decompose.add_argument("-k", "--width", type=int, required=True)
+    decompose.add_argument("--concov", action="store_true", help="require connected covers")
+    decompose.set_defaults(handler=_cmd_decompose)
+
+    stats = subparsers.add_parser("stats", help="structural statistics of a hypergraph")
+    stats.add_argument("hypergraph")
+    stats.set_defaults(handler=_cmd_stats)
+
+    experiment = subparsers.add_parser(
+        "experiment", help="run one benchmark query end to end"
+    )
+    experiment.add_argument(
+        "query",
+        choices=["q_ds", "q_hto", "q_hto2", "q_hto3", "q_hto4", "q_lb"],
+    )
+    experiment.add_argument("--scale", type=float, default=0.5)
+    experiment.add_argument("--limit", type=int, default=5)
+    experiment.set_defaults(handler=_cmd_experiment)
+
+    table1 = subparsers.add_parser("table1", help="reproduce Table 1")
+    table1.add_argument("--scale", type=float, default=0.5)
+    table1.set_defaults(handler=_cmd_table1)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """Entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args, out)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,133 @@
+"""Blocks and bases — the machinery behind the CandidateTD algorithms.
+
+Following Section 3 of the paper: a *block* is a pair ``(S, C)`` of disjoint
+vertex sets where ``C`` is a maximal set of [S]-connected vertices of ``H``
+or ``C = ∅``; the block is *headed by* ``S``.  For blocks ``(X, Y)`` and
+``(S, C)`` we have ``(X, Y) ≤ (S, C)`` iff ``X ∪ Y ⊆ S ∪ C`` and ``Y ⊆ C``.
+
+A vertex set ``X ≠ S`` is a *basis* of ``(S, C)`` (w.r.t. the blocks headed
+by ``X`` that are ≤ ``(S, C)``) if (1) those blocks together with ``X`` cover
+``C``, (2) they cover every edge that intersects ``C``, and (3) each of them
+is satisfied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.hypergraph.hypergraph import Hypergraph, Vertex
+from repro.hypergraph.components import vertex_components
+
+Bag = FrozenSet[Vertex]
+
+
+@dataclass(frozen=True)
+class Block:
+    """A block ``(S, C)``: head ``S`` and component ``C`` (possibly empty)."""
+
+    head: Bag
+    component: Bag
+
+    @property
+    def union(self) -> Bag:
+        return self.head | self.component
+
+    def leq(self, other: "Block") -> bool:
+        """The block order: ``self ≤ other``."""
+        return self.union <= other.union and self.component <= other.component
+
+    def __repr__(self) -> str:
+        head = ",".join(sorted(map(str, self.head))) or "∅"
+        comp = ",".join(sorted(map(str, self.component))) or "∅"
+        return f"Block(S={{{head}}}, C={{{comp}}})"
+
+
+class BlockIndex:
+    """All blocks headed by the candidate bags (plus the root block).
+
+    The index materialises, for every head ``S ∈ 𝒮 ∪ {∅}``, the blocks
+    ``(S, C)`` over the [S]-vertex-components of the hypergraph, and offers
+    the basis test used by Algorithms 1 and 2.
+    """
+
+    def __init__(self, hypergraph: Hypergraph, candidate_bags: Iterable[Bag]):
+        self.hypergraph = hypergraph
+        self.candidate_bags: List[Bag] = sorted(
+            {frozenset(bag) for bag in candidate_bags if bag},
+            key=lambda bag: (len(bag), sorted(map(str, bag))),
+        )
+        self._blocks_by_head: Dict[Bag, List[Block]] = {}
+        self._all_blocks: List[Block] = []
+        empty: Bag = frozenset()
+        for head in self.candidate_bags + [empty]:
+            blocks = [Block(head, frozenset())]
+            for component in vertex_components(hypergraph, head):
+                blocks.append(Block(head, component))
+            self._blocks_by_head[head] = blocks
+            self._all_blocks.extend(blocks)
+        self.root_block = Block(empty, frozenset(hypergraph.vertices))
+        if self.root_block not in self._blocks_by_head[empty]:
+            # Disconnected hypergraph: register the full-vertex-set block
+            # explicitly so the accept test of Algorithm 1 still applies.
+            self._blocks_by_head[empty].append(self.root_block)
+            self._all_blocks.append(self.root_block)
+
+    # -- accessors ------------------------------------------------------------
+
+    def blocks(self) -> List[Block]:
+        """All blocks, in no particular order."""
+        return list(self._all_blocks)
+
+    def blocks_headed_by(self, head: Bag) -> List[Block]:
+        return list(self._blocks_by_head.get(frozenset(head), []))
+
+    def sub_blocks(self, head: Bag, parent: Block) -> List[Block]:
+        """The blocks headed by ``head`` that are ≤ ``parent``."""
+        return [b for b in self.blocks_headed_by(head) if b.leq(parent)]
+
+    def topological_order(self) -> List[Block]:
+        """Blocks ordered so that every block follows all blocks it can depend on.
+
+        A basis decomposition of ``(S, C)`` only uses blocks ``(X, Y)`` with
+        ``X ∪ Y ⊆ S ∪ C`` and, when the unions coincide, ``Y ⊊ C``.  Sorting
+        by ``(|S ∪ C|, |C|)`` therefore yields a valid bottom-up order.
+        """
+        return sorted(
+            self._all_blocks,
+            key=lambda b: (len(b.union), len(b.component), sorted(map(str, b.head))),
+        )
+
+    # -- the basis test ----------------------------------------------------------
+
+    def is_basis(
+        self,
+        candidate: Bag,
+        block: Block,
+        satisfied: Dict[Block, bool],
+    ) -> bool:
+        """Is ``candidate`` a basis of ``block`` given the satisfaction map?
+
+        ``satisfied`` maps blocks to whether a (constraint-compliant)
+        decomposition witnessing their satisfaction is known.
+        """
+        if candidate == block.head:
+            return False
+        # A basis must live inside the block: the decomposition it induces is
+        # a TD of H[S ∪ C], so bags outside S ∪ C would break connectedness
+        # once the block is glued into a larger decomposition.
+        if not candidate <= block.union:
+            return False
+        subs = self.sub_blocks(candidate, block)
+        covered = set(candidate)
+        for sub in subs:
+            covered.update(sub.component)
+        # Condition 1: C ⊆ X ∪ ⋃Yi.
+        if not block.component <= covered:
+            return False
+        # Condition 2: edges meeting C are inside X ∪ ⋃Yi.
+        for edge in self.hypergraph.edges:
+            if edge.vertices & block.component and not edge.vertices <= covered:
+                return False
+        # Condition 3: every sub-block is satisfied.
+        return all(satisfied.get(sub, False) for sub in subs)

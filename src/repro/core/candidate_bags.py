@@ -1,0 +1,210 @@
+"""Candidate bag generation: ``Soft_{H,k}`` and the iterated ``Soft^i_{H,k}``.
+
+Definition 3 of the paper: ``Soft_{H,k}`` contains every vertex set of the
+form ``B = (⋃λ1) ∩ (⋃C)`` where ``λ1`` and ``λ2`` are sets of at most ``k``
+edges of ``H`` and ``C`` is a [λ2]-component of ``H``.  (With ``λ2 = ∅`` the
+only component is ``E(H)`` itself, so every union of ≤ k edges is a candidate
+bag.)
+
+Definition 6 iterates the construction: ``E^(0) = E(H)``,
+``E^(i) = E^(i-1) ⋂× Soft^{i-1}_{H,k}`` (pairwise intersections), and
+``Soft^i_{H,k}`` allows ``λ1`` to draw from ``E^(i)`` while ``λ2`` still
+ranges over the original edges.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.hypergraph.hypergraph import Edge, Hypergraph, Vertex
+from repro.hypergraph.components import component_vertices, edge_components
+
+Bag = FrozenSet[Vertex]
+
+
+def _component_vertex_sets(hypergraph: Hypergraph, k: int) -> Set[Bag]:
+    """All sets ``⋃C`` where ``C`` is a [λ2]-component for some ``|λ2| ≤ k``.
+
+    Includes ``λ2 = ∅`` (whose components are the connected components of the
+    hypergraph).  Duplicate vertex sets arising from different ``λ2`` are
+    collapsed.
+    """
+    edges = list(hypergraph.edges)
+    result: Set[Bag] = set()
+    separators_seen: Set[Bag] = set()
+    for size in range(0, min(k, len(edges)) + 1):
+        for lambda2 in combinations(edges, size):
+            separator = hypergraph.vertices_of(lambda2)
+            if separator in separators_seen:
+                continue
+            separators_seen.add(separator)
+            for component in edge_components(hypergraph, separator):
+                result.add(component_vertices(component))
+    return result
+
+
+def _cover_unions(edge_sets: Sequence[FrozenSet[Vertex]], k: int) -> Set[Bag]:
+    """All distinct unions of between 1 and ``k`` of the given vertex sets."""
+    distinct = sorted(set(edge_sets), key=lambda s: sorted(map(str, s)))
+    result: Set[Bag] = set()
+    for size in range(1, min(k, len(distinct)) + 1):
+        for subset in combinations(distinct, size):
+            union: Set[Vertex] = set()
+            for vertex_set in subset:
+                union.update(vertex_set)
+            result.add(frozenset(union))
+    return result
+
+
+def soft_candidate_bags(hypergraph: Hypergraph, k: int) -> Set[Bag]:
+    """The set ``Soft_{H,k}`` of Definition 3 (non-empty bags only)."""
+    return iterated_soft_candidate_bags(hypergraph, k, iterations=0)
+
+
+def soft_bag(
+    hypergraph: Hypergraph,
+    lambda1: Iterable[Edge],
+    lambda2: Iterable[Edge],
+    component_index: int = 0,
+) -> Bag:
+    """Construct a single candidate bag from explicit witnesses.
+
+    ``B = (⋃λ1) ∩ (⋃C)`` where ``C`` is the ``component_index``-th
+    [λ2]-component of the hypergraph.  Used in tests to verify membership
+    claims from the paper's examples without enumerating the whole set.
+    """
+    union_lambda1 = hypergraph.vertices_of(lambda1)
+    separator = hypergraph.vertices_of(lambda2)
+    components = edge_components(hypergraph, separator)
+    if not components:
+        raise ValueError("λ2 leaves no component")
+    component = components[component_index]
+    return frozenset(union_lambda1 & component_vertices(component))
+
+
+class SoftBagGenerator:
+    """Generator for the iterated candidate-bag sets ``Soft^i_{H,k}``.
+
+    The generator keeps the intermediate subedge sets ``E^(i)`` so that both
+    the candidate bags and the subedges (needed e.g. to check the claims of
+    Example 2) can be inspected.  ``max_subedges`` guards against the
+    worst-case blow-up of Lemma 4 on larger hypergraphs; when the bound is
+    hit, the computed sets are still sound under-approximations of
+    ``Soft^i_{H,k}`` (the resulting width is an upper bound of ``shw_i``).
+    """
+
+    def __init__(
+        self, hypergraph: Hypergraph, k: int, max_subedges: Optional[int] = None
+    ):
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.hypergraph = hypergraph
+        self.k = k
+        self.max_subedges = max_subedges
+        self._component_sets = _component_vertex_sets(hypergraph, k)
+        # E^(0) is the original edge set (as vertex sets).
+        self._subedge_levels: List[Set[Bag]] = [
+            {e.vertices for e in hypergraph.edges}
+        ]
+        self._soft_levels: List[Set[Bag]] = [self._soft_from_subedges(self._subedge_levels[0])]
+        self.truncated = False
+
+    # -- internals -------------------------------------------------------------
+
+    def _soft_from_subedges(self, subedges: Set[Bag]) -> Set[Bag]:
+        """``{ (⋃λ1) ∩ (⋃C) }`` for λ1 of ≤ k subedges and C over components."""
+        unions = _cover_unions(sorted(subedges, key=lambda s: sorted(map(str, s))), self.k)
+        bags: Set[Bag] = set()
+        for union in unions:
+            for component_set in self._component_sets:
+                bag = union & component_set
+                if bag:
+                    bags.add(bag)
+        return bags
+
+    def _next_subedges(self, level: int) -> Set[Bag]:
+        """``E^(i+1) = E^(i) ⋂× Soft^i_{H,k}`` (non-empty intersections)."""
+        current = self._subedge_levels[level]
+        soft = self._soft_levels[level]
+        result: Set[Bag] = set(current)
+        for subedge in current:
+            for bag in soft:
+                intersection = subedge & bag
+                if intersection:
+                    result.add(intersection)
+                    if (
+                        self.max_subedges is not None
+                        and len(result) >= self.max_subedges
+                    ):
+                        self.truncated = True
+                        return result
+        return result
+
+    def _ensure_level(self, level: int) -> None:
+        while len(self._soft_levels) <= level:
+            i = len(self._subedge_levels) - 1
+            next_subedges = self._next_subedges(i)
+            if next_subedges == self._subedge_levels[i]:
+                # Fixpoint reached: all further levels coincide.
+                self._subedge_levels.append(next_subedges)
+                self._soft_levels.append(self._soft_levels[i])
+                continue
+            self._subedge_levels.append(next_subedges)
+            self._soft_levels.append(self._soft_from_subedges(next_subedges))
+
+    # -- public API -------------------------------------------------------------
+
+    def subedges(self, level: int = 0) -> Set[Bag]:
+        """The subedge set ``E^(level)`` (as vertex sets)."""
+        if level > 0:
+            self._ensure_level(level)
+        return set(self._subedge_levels[min(level, len(self._subedge_levels) - 1)])
+
+    def candidate_bags(self, level: int = 0) -> Set[Bag]:
+        """The candidate-bag set ``Soft^level_{H,k}``."""
+        self._ensure_level(level)
+        return set(self._soft_levels[level])
+
+    def fixpoint_candidate_bags(self, max_level: int = 20) -> Set[Bag]:
+        """``Soft^∞_{H,k}`` up to ``max_level`` iterations (Lemma 6 fixpoint)."""
+        previous: Optional[Set[Bag]] = None
+        for level in range(max_level + 1):
+            current = self.candidate_bags(level)
+            if previous is not None and current == previous:
+                return current
+            previous = current
+        return previous if previous is not None else set()
+
+
+def iterated_soft_candidate_bags(
+    hypergraph: Hypergraph,
+    k: int,
+    iterations: int = 0,
+    max_subedges: Optional[int] = None,
+) -> Set[Bag]:
+    """``Soft^iterations_{H,k}`` — convenience wrapper over :class:`SoftBagGenerator`."""
+    generator = SoftBagGenerator(hypergraph, k, max_subedges=max_subedges)
+    return generator.candidate_bags(iterations)
+
+
+def filter_bags_by_cover(
+    hypergraph: Hypergraph, bags: Iterable[Bag], k: int, connected: bool = False
+) -> Set[Bag]:
+    """Keep only bags that have an edge cover of size ≤ k (optionally connected).
+
+    Every bag of ``Soft_{H,k}`` has a cover of size ≤ k by construction; the
+    connected filter implements the bag-level part of the ConCov constraint
+    and is what the experiments use to report ``|ConCov-Soft_{H,k}|``.
+    """
+    from repro.core.covers import has_connected_cover, minimum_edge_cover
+
+    result: Set[Bag] = set()
+    for bag in bags:
+        if connected:
+            if has_connected_cover(hypergraph, bag, k):
+                result.add(bag)
+        else:
+            if minimum_edge_cover(hypergraph, bag, upper_bound=k) is not None:
+                result.add(bag)
+    return result

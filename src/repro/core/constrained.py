@@ -1,0 +1,149 @@
+"""Algorithm 2: constrained and preference-optimised candidate tree decompositions.
+
+This is the paper's ``(𝒞, ≤)-CandidateTD`` solver: instead of merely checking
+whether *some* basis satisfies a block, it keeps, for every block, the basis
+whose induced partial decomposition ``Decomp(S, C, X)`` satisfies the subtree
+constraint ``𝒞`` and is minimal with respect to the preference order ``≤``.
+For tractable, preference-complete pairs ``(𝒞, ≤)`` the algorithm finds a
+globally minimal constrained CTD in polynomial time (Theorem 10).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional
+
+from repro.hypergraph.hypergraph import Hypergraph, Vertex
+from repro.decompositions.td import TreeDecomposition
+from repro.decompositions.tree import RootedTree, TreeNode
+from repro.core.blocks import Bag, Block, BlockIndex
+from repro.core.constraints import NoConstraint, SubtreeConstraint
+from repro.core.preferences import NoPreference, Preference
+
+
+class ConstrainedCTDSolver:
+    """Dynamic program over blocks keeping the ≤-minimal compliant decomposition."""
+
+    def __init__(
+        self,
+        hypergraph: Hypergraph,
+        candidate_bags: Iterable[Bag],
+        constraint: Optional[SubtreeConstraint] = None,
+        preference: Optional[Preference] = None,
+    ):
+        self.hypergraph = hypergraph
+        self.constraint = constraint if constraint is not None else NoConstraint()
+        self.preference = preference if preference is not None else NoPreference()
+        filtered = self.constraint.filter_bags(
+            {frozenset(bag) for bag in candidate_bags if bag}
+        )
+        self.index = BlockIndex(hypergraph, filtered)
+        self._basis: Dict[Block, Optional[Bag]] = {}
+        self._satisfied: Dict[Block, bool] = {}
+        self._solved = False
+
+    # -- partial decompositions ------------------------------------------------
+
+    def _attach_block(self, tree: RootedTree, parent: TreeNode, block: Block) -> None:
+        if not block.component:
+            return
+        basis = self._basis[block]
+        if basis is None:
+            raise ValueError(f"block {block} is not satisfied")
+        node = tree.new_node(parent, bag=basis)
+        for sub in self.index.sub_blocks(basis, block):
+            if sub.component:
+                self._attach_block(tree, node, sub)
+
+    def partial_decomposition(self, block: Block, basis: Bag) -> TreeDecomposition:
+        """``Decomp(S, C, X)`` viewed as the subtree rooted at the basis node.
+
+        The decomposition is assembled from the current bases of the
+        sub-blocks of ``(S, C)`` w.r.t. ``X``.  The block head (the parent's
+        bag) is not included: subtree constraints and preferences are defined
+        over the partial decompositions induced by subtrees, and the parent's
+        own bag is accounted for when the parent's block is processed.
+        """
+        tree = RootedTree()
+        node = tree.new_node(None, bag=basis)
+        for sub in self.index.sub_blocks(basis, block):
+            if sub.component:
+                self._attach_block(tree, node, sub)
+        return TreeDecomposition(self.hypergraph, tree)
+
+    def _current_decomposition(self, block: Block) -> Optional[TreeDecomposition]:
+        basis = self._basis.get(block)
+        if basis is None:
+            return None
+        return self.partial_decomposition(block, basis)
+
+    # -- Algorithm 2 -----------------------------------------------------------------
+
+    def _run(self) -> None:
+        if self._solved:
+            return
+        blocks = self.index.topological_order()
+        for block in blocks:
+            trivially_satisfied = not block.component
+            self._basis[block] = frozenset() if trivially_satisfied else None
+            self._satisfied[block] = trivially_satisfied
+        max_rounds = len(blocks) * max(1, len(self.index.candidate_bags)) + 10
+        for _ in range(max_rounds):
+            changed = False
+            for block in blocks:
+                if not block.component:
+                    continue
+                for candidate in self.index.candidate_bags:
+                    if not self.index.is_basis(candidate, block, self._satisfied):
+                        continue
+                    new_decomposition = self.partial_decomposition(block, candidate)
+                    if not self.constraint.holds_recursively(new_decomposition):
+                        continue
+                    current = self._current_decomposition(block)
+                    if current is None or self.preference.is_strictly_better(
+                        new_decomposition, current
+                    ):
+                        self._basis[block] = candidate
+                        self._satisfied[block] = True
+                        changed = True
+            if not changed:
+                break
+        self._solved = True
+
+    # -- public API ----------------------------------------------------------------------
+
+    def decide(self) -> bool:
+        """``True`` iff a constraint-compliant CompNF CTD exists."""
+        return self.solve() is not None
+
+    def solve(self) -> Optional[TreeDecomposition]:
+        """Return the ≤-minimal constraint-compliant CTD, or ``None``."""
+        self._run()
+        root = self.index.root_block
+        if not self._satisfied.get(root, False) or not self._basis.get(root):
+            return None
+        decomposition = self._build_full_decomposition()
+        if not self.constraint.holds_recursively(decomposition):
+            return None
+        return decomposition
+
+    def _build_full_decomposition(self) -> TreeDecomposition:
+        root_block = self.index.root_block
+        basis = self._basis[root_block]
+        assert basis is not None
+        tree = RootedTree()
+        root_node = tree.new_node(None, bag=basis)
+        for sub in self.index.sub_blocks(basis, root_block):
+            if sub.component:
+                self._attach_block(tree, root_node, sub)
+        return TreeDecomposition(self.hypergraph, tree)
+
+
+def constrained_candidate_td(
+    hypergraph: Hypergraph,
+    candidate_bags: Iterable[FrozenSet[Vertex]],
+    constraint: Optional[SubtreeConstraint] = None,
+    preference: Optional[Preference] = None,
+) -> Optional[TreeDecomposition]:
+    """Solve the ``(𝒞, ≤)``-CandidateTD problem (Algorithm 2)."""
+    solver = ConstrainedCTDSolver(hypergraph, candidate_bags, constraint, preference)
+    return solver.solve()

@@ -1,0 +1,206 @@
+"""Edge covers of vertex sets.
+
+The λ-labels of (G)HDs and the ConCov constraint both need edge covers:
+collections of hyperedges whose union contains a given bag.  This module
+provides greedy and exact minimum covers, enumeration of all covers up to a
+size bound, and the connectedness test used by the ConCov constraint.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.hypergraph.hypergraph import Edge, Hypergraph, Vertex
+
+
+def _relevant_edges(hypergraph: Hypergraph, bag: FrozenSet[Vertex]) -> List[Edge]:
+    """Edges that intersect the bag, largest intersection first."""
+    edges = [e for e in hypergraph.edges if e.vertices & bag]
+    edges.sort(key=lambda e: (-len(e.vertices & bag), e.name))
+    return edges
+
+
+def greedy_edge_cover(
+    hypergraph: Hypergraph, bag: Iterable[Vertex]
+) -> Optional[List[Edge]]:
+    """A greedy (not necessarily minimum) edge cover of ``bag``.
+
+    Returns ``None`` if no cover exists (some bag vertex occurs in no edge).
+    """
+    remaining = set(bag)
+    cover: List[Edge] = []
+    while remaining:
+        best = None
+        best_gain = 0
+        for edge in hypergraph.edges:
+            gain = len(edge.vertices & remaining)
+            if gain > best_gain:
+                best, best_gain = edge, gain
+        if best is None:
+            return None
+        cover.append(best)
+        remaining -= best.vertices
+    return cover
+
+
+def minimum_edge_cover(
+    hypergraph: Hypergraph, bag: Iterable[Vertex], upper_bound: Optional[int] = None
+) -> Optional[List[Edge]]:
+    """An exact minimum edge cover of ``bag`` (branch and bound).
+
+    ``upper_bound`` restricts the search to covers of at most that size and
+    makes the call cheap when only small covers are of interest (e.g. when
+    verifying that a candidate bag has a cover of size ≤ k).
+    """
+    bag_set = frozenset(bag)
+    if not bag_set:
+        return []
+    edges = _relevant_edges(hypergraph, bag_set)
+    coverable = set()
+    for edge in edges:
+        coverable.update(edge.vertices & bag_set)
+    if coverable != bag_set:
+        return None
+    greedy = greedy_edge_cover(hypergraph, bag_set)
+    best: Optional[List[Edge]] = greedy
+    limit = len(greedy) if greedy is not None else len(edges)
+    if upper_bound is not None:
+        limit = min(limit, upper_bound)
+        if best is not None and len(best) > upper_bound:
+            best = None
+
+    def search(remaining: FrozenSet[Vertex], chosen: List[Edge], start: int) -> None:
+        nonlocal best, limit
+        if not remaining:
+            if best is None or len(chosen) < len(best):
+                best = list(chosen)
+                limit = len(best)
+            return
+        if len(chosen) >= limit:
+            return
+        # Branch on an uncovered vertex with the fewest covering edges.
+        pivot = min(
+            remaining,
+            key=lambda v: sum(1 for e in edges if v in e.vertices),
+        )
+        for edge in edges:
+            if pivot in edge.vertices:
+                chosen.append(edge)
+                search(remaining - edge.vertices, chosen, start)
+                chosen.pop()
+
+    search(bag_set, [], 0)
+    if best is not None and upper_bound is not None and len(best) > upper_bound:
+        return None
+    return best
+
+
+def enumerate_covers(
+    hypergraph: Hypergraph, bag: Iterable[Vertex], max_size: int
+) -> Iterator[Tuple[Edge, ...]]:
+    """Enumerate the *minimal* edge covers of ``bag`` of size at most ``max_size``.
+
+    A cover is minimal if no proper subset is also a cover.  Every cover of
+    size ≤ ``max_size`` contains a minimal one, so minimal covers suffice for
+    existence-style questions (ConCov asks for *some* connected cover; note
+    that non-minimal covers are not enumerated, see
+    :func:`has_connected_cover` for how connectivity is handled).
+    """
+    bag_set = frozenset(bag)
+    if not bag_set:
+        yield ()
+        return
+    edges = _relevant_edges(hypergraph, bag_set)
+    seen = set()
+
+    def search(remaining: FrozenSet[Vertex], chosen: List[Edge]) -> Iterator[Tuple[Edge, ...]]:
+        if not remaining:
+            names = frozenset(e.name for e in chosen)
+            if names not in seen:
+                seen.add(names)
+                yield tuple(chosen)
+            return
+        if len(chosen) >= max_size:
+            return
+        pivot = min(
+            remaining,
+            key=lambda v: sum(1 for e in edges if v in e.vertices),
+        )
+        for edge in edges:
+            if pivot in edge.vertices and edge not in chosen:
+                chosen.append(edge)
+                yield from search(remaining - edge.vertices, chosen)
+                chosen.pop()
+
+    yield from search(bag_set, [])
+
+
+def connected_edge_set(edges: Sequence[Edge]) -> bool:
+    """``True`` iff the given edges form a connected subhypergraph.
+
+    Connectivity is via shared vertices: the intersection graph of the edges
+    must be connected.  The empty set and singletons are connected.
+    """
+    edge_list = list(edges)
+    if len(edge_list) <= 1:
+        return True
+    visited = {0}
+    frontier = [0]
+    while frontier:
+        current = frontier.pop()
+        for j, other in enumerate(edge_list):
+            if j not in visited and edge_list[current].vertices & other.vertices:
+                visited.add(j)
+                frontier.append(j)
+    return len(visited) == len(edge_list)
+
+
+def has_connected_cover(
+    hypergraph: Hypergraph, bag: Iterable[Vertex], max_size: int
+) -> bool:
+    """``True`` iff ``bag`` has an edge cover of size ≤ ``max_size`` whose
+    edges form a connected subhypergraph (the ConCov property of Section 6).
+
+    We enumerate minimal covers first and, for each disconnected minimal
+    cover with spare budget, try to reconnect it by adding up to the
+    remaining number of edges (a bridging search).  The empty bag is
+    trivially covered.
+    """
+    bag_set = frozenset(bag)
+    if not bag_set:
+        return True
+    all_edges = list(hypergraph.edges)
+    for cover in enumerate_covers(hypergraph, bag_set, max_size):
+        if connected_edge_set(cover):
+            return True
+        budget = max_size - len(cover)
+        if budget > 0 and _can_connect(list(cover), all_edges, budget):
+            return True
+    return False
+
+
+def _can_connect(cover: List[Edge], all_edges: List[Edge], budget: int) -> bool:
+    """Can the cover be made connected by adding at most ``budget`` edges?"""
+    if connected_edge_set(cover):
+        return True
+    if budget == 0:
+        return False
+    chosen = set(e.name for e in cover)
+    for edge in all_edges:
+        if edge.name in chosen:
+            continue
+        if any(edge.vertices & c.vertices for c in cover):
+            if _can_connect(cover + [edge], all_edges, budget - 1):
+                return True
+    return False
+
+
+def connected_covers(
+    hypergraph: Hypergraph, bag: Iterable[Vertex], max_size: int
+) -> List[Tuple[Edge, ...]]:
+    """All minimal covers of ``bag`` of size ≤ ``max_size`` that are connected."""
+    return [
+        cover
+        for cover in enumerate_covers(hypergraph, bag, max_size)
+        if connected_edge_set(cover)
+    ]

@@ -1,0 +1,120 @@
+"""Algorithm 1: CompNF Candidate Tree Decompositions.
+
+Given a hypergraph ``H`` and a set ``𝒮`` of candidate bags, decide whether a
+tree decomposition of ``H`` in component normal form exists all of whose bags
+belong to ``𝒮`` and, if so, construct one.
+
+The solver follows the paper's Algorithm 1: it maintains, per block, a basis
+(or "not yet satisfied"), and repeatedly tries to satisfy further blocks
+until a fixpoint is reached.  Accept iff the root block ``(∅, V(H))`` is
+satisfied through a non-empty basis; the corresponding decomposition is then
+assembled recursively from the recorded bases.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional
+
+from repro.hypergraph.hypergraph import Hypergraph, Vertex
+from repro.decompositions.td import TreeDecomposition
+from repro.decompositions.tree import RootedTree, TreeNode
+from repro.core.blocks import Bag, Block, BlockIndex
+
+
+class CandidateTDSolver:
+    """Decides the CandidateTD problem and extracts a witnessing CTD."""
+
+    def __init__(self, hypergraph: Hypergraph, candidate_bags: Iterable[Bag]):
+        self.hypergraph = hypergraph
+        self.index = BlockIndex(hypergraph, candidate_bags)
+        self._basis: Dict[Block, Optional[Bag]] = {}
+        self._satisfied: Dict[Block, bool] = {}
+        self._solved = False
+
+    # -- Algorithm 1 -------------------------------------------------------------
+
+    def _run_fixpoint(self) -> None:
+        if self._solved:
+            return
+        blocks = self.index.topological_order()
+        for block in blocks:
+            if not block.component:
+                self._basis[block] = frozenset()
+                self._satisfied[block] = True
+            else:
+                self._basis[block] = None
+                self._satisfied[block] = False
+        changed = True
+        while changed:
+            changed = False
+            for block in blocks:
+                if self._satisfied[block]:
+                    continue
+                for candidate in self.index.candidate_bags:
+                    if self.index.is_basis(candidate, block, self._satisfied):
+                        self._basis[block] = candidate
+                        self._satisfied[block] = True
+                        changed = True
+                        break
+        self._solved = True
+
+    # -- public API ----------------------------------------------------------------
+
+    def decide(self) -> bool:
+        """``True`` iff a CompNF CTD for the candidate bags exists."""
+        self._run_fixpoint()
+        root = self.index.root_block
+        return self._satisfied.get(root, False) and bool(self._basis.get(root))
+
+    def solve(self) -> Optional[TreeDecomposition]:
+        """Return a CompNF CTD, or ``None`` if none exists."""
+        if not self.decide():
+            return None
+        return self._build_decomposition()
+
+    def satisfied_blocks(self) -> List[Block]:
+        """The blocks that were satisfied by the fixpoint (for inspection)."""
+        self._run_fixpoint()
+        return [block for block, ok in self._satisfied.items() if ok]
+
+    def basis_of(self, block: Block) -> Optional[Bag]:
+        self._run_fixpoint()
+        return self._basis.get(block)
+
+    # -- decomposition extraction ------------------------------------------------------
+
+    def _attach_block(
+        self, tree: RootedTree, parent: TreeNode, block: Block
+    ) -> None:
+        """Attach the decomposition of ``block``'s component below ``parent``.
+
+        ``parent`` carries the block's head as its bag; the block must be
+        satisfied with a non-trivial basis.
+        """
+        if not block.component:
+            return
+        basis = self._basis[block]
+        if basis is None:
+            raise ValueError(f"block {block} is not satisfied")
+        node = tree.new_node(parent, bag=basis)
+        for sub in self.index.sub_blocks(basis, block):
+            if sub.component:
+                self._attach_block(tree, node, sub)
+
+    def _build_decomposition(self) -> TreeDecomposition:
+        root_block = self.index.root_block
+        basis = self._basis[root_block]
+        assert basis is not None
+        tree = RootedTree()
+        root_node = tree.new_node(None, bag=basis)
+        for sub in self.index.sub_blocks(basis, root_block):
+            if sub.component:
+                self._attach_block(tree, root_node, sub)
+        return TreeDecomposition(self.hypergraph, tree)
+
+
+def candidate_td(
+    hypergraph: Hypergraph, candidate_bags: Iterable[FrozenSet[Vertex]]
+) -> Optional[TreeDecomposition]:
+    """Solve the CandidateTD problem (Algorithm 1) and return a CTD or ``None``."""
+    return CandidateTDSolver(hypergraph, candidate_bags).solve()

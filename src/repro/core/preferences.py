@@ -1,0 +1,92 @@
+"""Preference orders (toptds) over partial tree decompositions (Section 6.1).
+
+A *total quasiordering of partial tree decompositions* (toptd) ranks partial
+decompositions; the constrained CandidateTD algorithm keeps, per block, a
+globally minimal decomposition with respect to the toptd.  We model a toptd
+by a key function: ``a ≤ b`` iff ``key(a) ≤ key(b)``, which covers cost
+functions (the paper's main use case), shallow-cyclicity preferences and
+lexicographic combinations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.decompositions.td import TreeDecomposition
+
+
+class Preference:
+    """Base class: a total quasiorder given by a comparable key."""
+
+    def key(self, partial_td: TreeDecomposition):
+        raise NotImplementedError
+
+    def is_strictly_better(self, a: TreeDecomposition, b: TreeDecomposition) -> bool:
+        """``a < b`` in the quasiorder."""
+        return self.key(a) < self.key(b)
+
+
+class NoPreference(Preference):
+    """All decompositions are equally preferred."""
+
+    def key(self, partial_td: TreeDecomposition):
+        return 0
+
+
+class CostPreference(Preference):
+    """Order partial decompositions by an arbitrary cost function.
+
+    The cost function receives the partial tree decomposition and returns a
+    number; lower is better.  The paper's evaluation uses the two cost
+    functions of Appendix C.2 (see :mod:`repro.db.cost`), both of which are
+    strongly monotone in the sense of Section 6.1.
+    """
+
+    def __init__(self, cost_function: Callable[[TreeDecomposition], float]):
+        self.cost_function = cost_function
+
+    def key(self, partial_td: TreeDecomposition) -> float:
+        return self.cost_function(partial_td)
+
+
+class NodeCountPreference(Preference):
+    """Prefer decompositions with fewer nodes (a simple tie-breaker)."""
+
+    def key(self, partial_td: TreeDecomposition) -> int:
+        return partial_td.tree.num_nodes()
+
+
+class MaxBagSizePreference(Preference):
+    """Prefer decompositions whose largest bag is small (treewidth-style)."""
+
+    def key(self, partial_td: TreeDecomposition) -> int:
+        return max(len(bag) for bag in partial_td.bags())
+
+
+class ShallowCyclicityPreference(Preference):
+    """Prefer decompositions of lower cyclicity depth (Example 5).
+
+    This toptd is preference complete for ``ShallowCyc_d``: if any CTD of the
+    hypergraph has cyclicity depth ≤ d then every globally minimal CTD under
+    this order does, because all globally minimal CTDs share the least
+    achievable cyclicity depth.
+    """
+
+    def __init__(self, hypergraph: Hypergraph):
+        from repro.core.constraints import ShallowCyclicityConstraint
+
+        self._measure = ShallowCyclicityConstraint(hypergraph, depth=0)
+
+    def key(self, partial_td: TreeDecomposition) -> int:
+        return self._measure.cyclicity_depth(partial_td)
+
+
+class LexicographicPreference(Preference):
+    """Combine several preferences lexicographically (first is most important)."""
+
+    def __init__(self, preferences: Sequence[Preference]):
+        self.preferences = list(preferences)
+
+    def key(self, partial_td: TreeDecomposition) -> Tuple:
+        return tuple(p.key(partial_td) for p in self.preferences)

@@ -1,0 +1,58 @@
+"""An in-memory relational substrate.
+
+The paper's experiments run SQL join queries on PostgreSQL, both directly
+(the baseline) and through a Yannakakis-style rewriting guided by a candidate
+tree decomposition.  This package replaces PostgreSQL with a small, fully
+deterministic relational engine:
+
+* :class:`repro.db.Relation` / :class:`repro.db.Database` — named in-memory
+  relations with hash joins, semi-joins, projections and aggregation, plus
+  operation counters so experiments can report deterministic work measures
+  alongside wall-clock time;
+* :class:`repro.db.ConjunctiveQuery` — join queries as sets of atoms, with
+  hypergraph extraction (every atom becomes a hyperedge named by its alias);
+* :mod:`repro.db.sqlish` — a parser for the simple SELECT/FROM/WHERE equijoin
+  SQL dialect the paper's benchmark queries are written in;
+* :mod:`repro.db.stats` — table statistics and a textbook cardinality
+  estimator (independence assumption), playing the role of the DBMS's
+  optimiser estimates;
+* :mod:`repro.db.yannakakis` — Yannakakis' algorithm over a decomposition;
+* :mod:`repro.db.executor` — decomposition-guided execution and the greedy
+  pairwise-join baseline standing in for the DBMS's own plan;
+* :mod:`repro.db.cost` — the two cost functions of Appendix C.2.
+"""
+
+from repro.db.relation import Relation
+from repro.db.database import Database
+from repro.db.query import Atom, ConjunctiveQuery
+from repro.db.sqlish import parse_select_query
+from repro.db.stats import CardinalityEstimator, TableStatistics
+from repro.db.yannakakis import YannakakisRun, run_yannakakis
+from repro.db.executor import (
+    BaselineExecutor,
+    DecompositionExecutor,
+    ExecutionMetrics,
+)
+from repro.db.cost import (
+    cardinality_cost,
+    estimate_cost,
+    make_cost_preference,
+)
+
+__all__ = [
+    "Relation",
+    "Database",
+    "Atom",
+    "ConjunctiveQuery",
+    "parse_select_query",
+    "TableStatistics",
+    "CardinalityEstimator",
+    "YannakakisRun",
+    "run_yannakakis",
+    "DecompositionExecutor",
+    "BaselineExecutor",
+    "ExecutionMetrics",
+    "estimate_cost",
+    "cardinality_cost",
+    "make_cost_preference",
+]

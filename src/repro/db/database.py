@@ -1,0 +1,73 @@
+"""A database: a catalogue of named relations plus schema metadata."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.db.relation import Relation
+
+
+class Database:
+    """Named relations with optional primary-key metadata.
+
+    Primary keys matter for the actual-cardinality cost function of
+    Appendix C.2.2, whose ``ReduceAttrs`` definition distinguishes attributes
+    that are primary keys of their relation (semijoins along such attributes
+    are assumed not to reduce the parent).
+    """
+
+    def __init__(self) -> None:
+        self._relations: Dict[str, Relation] = {}
+        self._primary_keys: Dict[str, str] = {}
+
+    # -- schema management -------------------------------------------------------
+
+    def add_relation(
+        self, relation: Relation, primary_key: Optional[str] = None
+    ) -> None:
+        if relation.name in self._relations:
+            raise ValueError(f"relation {relation.name!r} already exists")
+        self._relations[relation.name] = relation
+        if primary_key is not None:
+            if primary_key not in relation.attributes:
+                raise ValueError(
+                    f"primary key {primary_key!r} is not an attribute of "
+                    f"{relation.name!r}"
+                )
+            self._primary_keys[relation.name] = primary_key
+
+    def create_table(
+        self,
+        name: str,
+        attributes: Sequence[str],
+        rows: Iterable,
+        primary_key: Optional[str] = None,
+    ) -> Relation:
+        relation = Relation(name, attributes, rows)
+        self.add_relation(relation, primary_key=primary_key)
+        return relation
+
+    # -- lookup ---------------------------------------------------------------------
+
+    def relation(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError as exc:
+            raise KeyError(f"no relation named {name!r}") from exc
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def relation_names(self) -> List[str]:
+        return sorted(self._relations)
+
+    def primary_key(self, name: str) -> Optional[str]:
+        return self._primary_keys.get(name)
+
+    def total_rows(self) -> int:
+        return sum(len(rel) for rel in self._relations.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"Database(relations={len(self._relations)}, rows={self.total_rows()})"
+        )

@@ -1,0 +1,176 @@
+"""A parser for the simple SQL dialect used by the paper's benchmark queries.
+
+Supported shape (sufficient for the six evaluation queries):
+
+.. code-block:: sql
+
+    SELECT MIN(col) FROM t1, t2 AS a, t3 AS b
+    WHERE a.x = b.y AND col2 = a.z ...
+
+    SELECT MIN(col) FROM t1 AS a JOIN t2 AS b ON a.x = b.y JOIN ...
+
+Column references may be qualified (``alias.column``) or unqualified, in
+which case they are resolved against the database schema (they must be
+unambiguous, which holds for TPC-DS-style schemas).  The parser produces a
+:class:`repro.db.query.ConjunctiveQuery`: join equalities induce variable
+equivalence classes; each table occurrence becomes one atom over the
+variables of its referenced columns.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.db.database import Database
+from repro.db.query import Atom, ConjunctiveQuery
+
+_SELECT_RE = re.compile(
+    r"^\s*SELECT\s+(?P<agg>MIN|MAX|COUNT)\s*\(\s*(?P<column>[\w.]+)\s*\)\s+"
+    r"FROM\s+(?P<rest>.*)$",
+    re.IGNORECASE | re.DOTALL,
+)
+_EQUALITY_RE = re.compile(r"([\w.]+)\s*=\s*([\w.]+)")
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self._parent: Dict[Tuple[str, str], Tuple[str, str]] = {}
+
+    def add(self, item: Tuple[str, str]) -> None:
+        self._parent.setdefault(item, item)
+
+    def find(self, item: Tuple[str, str]) -> Tuple[str, str]:
+        self.add(item)
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: Tuple[str, str], b: Tuple[str, str]) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[ra] = rb
+
+    def items(self):
+        return list(self._parent)
+
+
+def _split_from_where(rest: str) -> Tuple[str, str]:
+    """Split the text after FROM into the table list and the condition text."""
+    match = re.search(r"\bWHERE\b", rest, re.IGNORECASE)
+    if match:
+        return rest[: match.start()], rest[match.end():]
+    return rest, ""
+
+
+def _parse_tables(from_clause: str) -> Tuple[List[Tuple[str, str]], str]:
+    """Parse the FROM clause into (table, alias) pairs and ON conditions."""
+    conditions: List[str] = []
+    # Normalise JOIN ... ON ... into comma-separated tables + conditions.
+    text = from_clause
+    pieces = re.split(r"\bJOIN\b", text, flags=re.IGNORECASE)
+    tables_text: List[str] = []
+    for i, piece in enumerate(pieces):
+        if i == 0:
+            tables_text.append(piece)
+            continue
+        on_split = re.split(r"\bON\b", piece, flags=re.IGNORECASE, maxsplit=1)
+        tables_text.append(on_split[0])
+        if len(on_split) > 1:
+            conditions.append(on_split[1])
+    tables: List[Tuple[str, str]] = []
+    for chunk in ",".join(tables_text).split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        parts = re.split(r"\s+AS\s+|\s+", chunk, flags=re.IGNORECASE)
+        parts = [p for p in parts if p and p.upper() != "AS"]
+        if len(parts) == 1:
+            tables.append((parts[0], parts[0]))
+        else:
+            tables.append((parts[0], parts[1]))
+    return tables, " AND ".join(conditions)
+
+
+def _resolve_column(
+    reference: str,
+    tables: List[Tuple[str, str]],
+    database: Database,
+) -> Tuple[str, str]:
+    """Resolve a column reference to (alias, column)."""
+    if "." in reference:
+        alias, column = reference.split(".", 1)
+        return alias, column
+    candidates = []
+    for table, alias in tables:
+        if reference in database.relation(table).attributes:
+            candidates.append((alias, reference))
+    if not candidates:
+        raise ValueError(f"column {reference!r} not found in any FROM table")
+    if len({alias for alias, _ in candidates}) > 1:
+        raise ValueError(f"column {reference!r} is ambiguous")
+    return candidates[0]
+
+
+def parse_select_query(
+    sql: str, database: Database, name: Optional[str] = None
+) -> ConjunctiveQuery:
+    """Parse an aggregate equijoin query into a :class:`ConjunctiveQuery`."""
+    match = _SELECT_RE.match(sql.strip())
+    if not match:
+        raise ValueError("query must be of the form SELECT AGG(col) FROM ... [WHERE ...]")
+    aggregate_function = match.group("agg").upper()
+    aggregate_column = match.group("column")
+    rest = match.group("rest")
+    from_clause, where_clause = _split_from_where(rest)
+    tables, join_conditions = _parse_tables(from_clause)
+    condition_text = " AND ".join(filter(None, [join_conditions, where_clause]))
+
+    alias_to_table = {alias: table for table, alias in tables}
+    if len(alias_to_table) != len(tables):
+        raise ValueError("duplicate table aliases in FROM clause")
+
+    union_find = _UnionFind()
+    for left, right in _EQUALITY_RE.findall(condition_text):
+        left_ref = _resolve_column(left, tables, database)
+        right_ref = _resolve_column(right, tables, database)
+        union_find.union(left_ref, right_ref)
+    aggregate_ref = _resolve_column(aggregate_column, tables, database)
+    union_find.add(aggregate_ref)
+
+    # Assign variable names per equivalence class.
+    class_names: Dict[Tuple[str, str], str] = {}
+
+    def variable_for(reference: Tuple[str, str]) -> str:
+        root = union_find.find(reference)
+        if root not in class_names:
+            class_names[root] = f"v{len(class_names)}"
+        return class_names[root]
+
+    atoms: List[Atom] = []
+    for table, alias in tables:
+        used_columns: List[str] = []
+        for alias_ref, column in union_find.items():
+            if alias_ref == alias and column not in used_columns:
+                used_columns.append(column)
+        if not used_columns:
+            # A table with no join column would be a Cartesian factor; keep it
+            # connected through its first attribute so the query stays well
+            # formed (none of the benchmark queries trigger this).
+            used_columns = [database.relation(table).attributes[0]]
+            union_find.add((alias, used_columns[0]))
+        attributes = tuple(used_columns)
+        variables = tuple(variable_for((alias, column)) for column in used_columns)
+        atoms.append(
+            Atom(alias=alias, relation=table, attributes=attributes, variables=variables)
+        )
+
+    aggregate_variable = variable_for(aggregate_ref)
+    return ConjunctiveQuery(
+        atoms=atoms,
+        aggregate=(aggregate_function, aggregate_variable),
+        name=name or "query",
+    )

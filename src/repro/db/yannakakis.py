@@ -1,0 +1,284 @@
+"""Yannakakis' algorithm over a (candidate) tree decomposition.
+
+Decomposition-guided query evaluation works in three stages (Section 1 and 7
+of the paper, following the SQL-rewriting line of work it builds on):
+
+1. *Local joins*: for every decomposition node ``u``, materialise the bag
+   relation ``J_u`` — the join of the node's λ-cover atoms projected onto the
+   bag — and enforce every query atom at some node whose bag contains all of
+   its variables (a semi-join, since the atom's variables are a subset of the
+   bag).  This turns the cyclic query into an acyclic one over the ``J_u``.
+2. *Full reducer*: Yannakakis' bottom-up and top-down semi-join passes.
+3. *Answer extraction*: after the full reducer every remaining tuple
+   participates in at least one answer, so MIN/MAX aggregates can be read off
+   any node containing the aggregated variable; the full join result can also
+   be materialised bottom-up if needed.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.hypergraph.hypergraph import Hypergraph, Vertex
+from repro.decompositions.td import TreeDecomposition
+from repro.decompositions.tree import TreeNode
+from repro.core.covers import connected_covers, enumerate_covers, minimum_edge_cover
+from repro.db.database import Database
+from repro.db.query import Atom, ConjunctiveQuery
+from repro.db.relation import Relation, WorkCounter
+
+Bag = FrozenSet[Vertex]
+
+
+def atom_relation(database: Database, atom: Atom) -> Relation:
+    """The atom's relation renamed to query variables and projected to them."""
+    relation = database.relation(atom.relation)
+    mapping = dict(zip(atom.attributes, atom.variables))
+    renamed = relation.rename(atom.alias, mapping)
+    return renamed.project(list(dict.fromkeys(atom.variables)))
+
+
+def choose_cover(
+    hypergraph: Hypergraph,
+    bag: Bag,
+    max_size: Optional[int] = None,
+    prefer_connected: bool = True,
+) -> List[str]:
+    """Pick a λ-cover (list of atom aliases) for a bag.
+
+    Prefers a connected cover of minimal size when one exists (matching the
+    ConCov constraint's intent); falls back to a minimum cover otherwise.
+    """
+    if not bag:
+        return []
+    limit = max_size if max_size is not None else hypergraph.num_edges()
+    if prefer_connected:
+        for size in range(1, limit + 1):
+            connected = connected_covers(hypergraph, bag, size)
+            if connected:
+                best = min(connected, key=lambda cover: (len(cover), [e.name for e in cover]))
+                return [edge.name for edge in best]
+    cover = minimum_edge_cover(hypergraph, bag, upper_bound=limit)
+    if cover is None:
+        raise ValueError(f"bag {sorted(map(str, bag))} has no edge cover of size <= {limit}")
+    return [edge.name for edge in cover]
+
+
+@dataclass
+class NodePlan:
+    """Execution plan entry for one decomposition node."""
+
+    node: TreeNode
+    bag: Bag
+    cover: List[str]
+    enforced_atoms: List[str] = field(default_factory=list)
+
+
+@dataclass
+class YannakakisRun:
+    """The outcome of one decomposition-guided execution."""
+
+    result: object
+    counter: WorkCounter
+    wall_time: float
+    node_sizes: Dict[int, int]
+    reduced_sizes: Dict[int, int]
+    max_intermediate: int
+
+    @property
+    def work(self) -> int:
+        return self.counter.total
+
+
+class YannakakisExecutor:
+    """Executes a conjunctive query through a tree decomposition."""
+
+    def __init__(
+        self,
+        database: Database,
+        query: ConjunctiveQuery,
+        max_cover_size: Optional[int] = None,
+        prefer_connected: bool = True,
+    ):
+        self.database = database
+        self.query = query
+        self.hypergraph = query.hypergraph()
+        self.max_cover_size = max_cover_size
+        self.prefer_connected = prefer_connected
+        self._atom_relations: Dict[str, Relation] = {}
+
+    def _atom_relation(self, alias: str) -> Relation:
+        if alias not in self._atom_relations:
+            self._atom_relations[alias] = atom_relation(
+                self.database, self.query.atom(alias)
+            )
+        return self._atom_relations[alias]
+
+    # -- planning -----------------------------------------------------------------
+
+    def plan(self, decomposition: TreeDecomposition) -> List[NodePlan]:
+        """Assign covers and atom enforcement to decomposition nodes."""
+        nodes = decomposition.tree.nodes()
+        plans = [
+            NodePlan(
+                node=node,
+                bag=decomposition.bag(node),
+                cover=choose_cover(
+                    self.hypergraph,
+                    decomposition.bag(node),
+                    max_size=self.max_cover_size,
+                    prefer_connected=self.prefer_connected,
+                ),
+            )
+            for node in nodes
+        ]
+        variables_of = {
+            atom.alias: frozenset(atom.variables) for atom in self.query.atoms
+        }
+        for alias, variables in variables_of.items():
+            target = None
+            for plan in plans:
+                if variables <= plan.bag:
+                    target = plan
+                    break
+            if target is None:
+                raise ValueError(
+                    f"decomposition does not cover atom {alias!r}; not a valid TD "
+                    "of the query hypergraph"
+                )
+            already_joined = alias in target.cover and variables <= target.bag
+            if not already_joined or alias not in target.cover:
+                target.enforced_atoms.append(alias)
+        return plans
+
+    # -- execution ------------------------------------------------------------------
+
+    def execute(
+        self,
+        decomposition: TreeDecomposition,
+        materialize_result: bool = False,
+    ) -> YannakakisRun:
+        """Run the three stages and return the aggregate (or materialised) result."""
+        counter = WorkCounter()
+        start = time.perf_counter()
+        plans = self.plan(decomposition)
+        plan_by_id = {plan.node.node_id: plan for plan in plans}
+        bag_relations: Dict[int, Relation] = {}
+        node_sizes: Dict[int, int] = {}
+        max_intermediate = 0
+
+        # Stage 1: local joins.
+        for plan in plans:
+            relation = self._materialize_bag(plan, counter)
+            bag_relations[plan.node.node_id] = relation
+            node_sizes[plan.node.node_id] = len(relation)
+            max_intermediate = max(max_intermediate, len(relation))
+
+        tree = decomposition.tree
+        # Stage 2a: bottom-up semi-joins.
+        for node in tree.postorder():
+            for child in node.children:
+                bag_relations[node.node_id] = bag_relations[node.node_id].semijoin(
+                    bag_relations[child.node_id], counter
+                )
+        # Stage 2b: top-down semi-joins.
+        for node in tree.preorder():
+            for child in node.children:
+                bag_relations[child.node_id] = bag_relations[child.node_id].semijoin(
+                    bag_relations[node.node_id], counter
+                )
+        reduced_sizes = {
+            node_id: len(relation) for node_id, relation in bag_relations.items()
+        }
+
+        # Stage 3: answer extraction.
+        if materialize_result or self.query.aggregate is None:
+            result_relation = self._materialize_join(tree, bag_relations, counter)
+            max_intermediate = max(max_intermediate, len(result_relation))
+            if self.query.aggregate is None:
+                result: object = result_relation
+            else:
+                function, variable = self.query.aggregate
+                result = result_relation.aggregate(function, variable)
+        else:
+            function, variable = self.query.aggregate
+            if function.upper() == "COUNT":
+                result_relation = self._materialize_join(tree, bag_relations, counter)
+                max_intermediate = max(max_intermediate, len(result_relation))
+                result = result_relation.aggregate(function, variable)
+            else:
+                result = self._aggregate_from_reduced(
+                    plans, bag_relations, function, variable
+                )
+        wall_time = time.perf_counter() - start
+        return YannakakisRun(
+            result=result,
+            counter=counter,
+            wall_time=wall_time,
+            node_sizes=node_sizes,
+            reduced_sizes=reduced_sizes,
+            max_intermediate=max_intermediate,
+        )
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _materialize_bag(self, plan: NodePlan, counter: WorkCounter) -> Relation:
+        bag_attributes = sorted(map(str, plan.bag))
+        if not plan.cover:
+            return Relation(f"J{plan.node.node_id}", bag_attributes, [()] if not bag_attributes else [])
+        relation = self._atom_relation(plan.cover[0])
+        for alias in plan.cover[1:]:
+            relation = relation.natural_join(self._atom_relation(alias), counter)
+        relation = relation.project(
+            [a for a in relation.attributes if a in plan.bag], counter
+        )
+        for alias in plan.enforced_atoms:
+            relation = relation.semijoin(self._atom_relation(alias), counter)
+        return relation
+
+    def _materialize_join(
+        self,
+        tree,
+        bag_relations: Dict[int, Relation],
+        counter: WorkCounter,
+    ) -> Relation:
+        result: Optional[Relation] = None
+        for node in tree.postorder():
+            relation = bag_relations[node.node_id]
+            result = relation if result is None else result.natural_join(relation, counter)
+        assert result is not None
+        return result
+
+    def _aggregate_from_reduced(
+        self,
+        plans: Sequence[NodePlan],
+        bag_relations: Dict[int, Relation],
+        function: str,
+        variable: str,
+    ) -> object:
+        for plan in plans:
+            if variable in plan.bag:
+                return bag_relations[plan.node.node_id].aggregate(function, variable)
+        raise ValueError(
+            f"aggregate variable {variable!r} does not occur in any bag"
+        )
+
+
+def run_yannakakis(
+    database: Database,
+    query: ConjunctiveQuery,
+    decomposition: TreeDecomposition,
+    max_cover_size: Optional[int] = None,
+    prefer_connected: bool = True,
+) -> YannakakisRun:
+    """Convenience wrapper: execute ``query`` through ``decomposition``."""
+    executor = YannakakisExecutor(
+        database,
+        query,
+        max_cover_size=max_cover_size,
+        prefer_connected=prefer_connected,
+    )
+    return executor.execute(decomposition)

@@ -1,0 +1,25 @@
+"""Decomposition data structures: tree decompositions, GHDs and HDs."""
+
+from repro.decompositions.tree import TreeNode, RootedTree
+from repro.decompositions.td import TreeDecomposition
+from repro.decompositions.ghd import GeneralizedHypertreeDecomposition, HypertreeDecomposition
+from repro.decompositions.width import (
+    bag_cover_number,
+    is_complete_join_tree,
+    verify_td,
+    verify_ghd,
+    verify_hd,
+)
+
+__all__ = [
+    "TreeNode",
+    "RootedTree",
+    "TreeDecomposition",
+    "GeneralizedHypertreeDecomposition",
+    "HypertreeDecomposition",
+    "bag_cover_number",
+    "is_complete_join_tree",
+    "verify_td",
+    "verify_ghd",
+    "verify_hd",
+]

@@ -1,0 +1,133 @@
+"""Generalised hypertree decompositions (GHDs) and hypertree decompositions (HDs).
+
+A GHD extends a tree decomposition with a λ-label per node: a set of
+hyperedges whose union covers the node's bag.  An HD is a GHD over a rooted
+tree that additionally satisfies the *special condition*:
+``B(T_u) ∩ ⋃λ(u) ⊆ B(u)`` for every node ``u``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.hypergraph.hypergraph import Edge, Hypergraph, Vertex
+from repro.decompositions.td import TreeDecomposition
+from repro.decompositions.tree import RootedTree, TreeNode
+
+
+class GeneralizedHypertreeDecomposition(TreeDecomposition):
+    """A GHD ``(T, λ, B)``.
+
+    Each node carries ``data["bag"]`` (a frozenset of vertices) and
+    ``data["cover"]`` (a tuple of :class:`Edge`).  The width of a GHD is the
+    maximum λ-label size.
+    """
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def from_labels(
+        cls,
+        hypergraph: Hypergraph,
+        bags: Sequence[Iterable[Vertex]],
+        covers: Sequence[Iterable[str]],
+        parent_of: Sequence[Optional[int]],
+    ) -> "GeneralizedHypertreeDecomposition":
+        """Build a GHD from bags, edge-name covers and parent indices."""
+        if len(bags) != len(covers) or len(bags) != len(parent_of):
+            raise ValueError("bags, covers and parent_of must have equal length")
+        tree = RootedTree()
+        nodes: List[TreeNode] = []
+        for i, (bag, cover) in enumerate(zip(bags, covers)):
+            parent_index = parent_of[i]
+            parent = nodes[parent_index] if parent_index is not None else None
+            cover_edges = tuple(hypergraph.edge(name) for name in cover)
+            nodes.append(
+                tree.new_node(parent, bag=frozenset(bag), cover=cover_edges)
+            )
+        return cls(hypergraph, tree)
+
+    @classmethod
+    def from_td_with_greedy_covers(
+        cls, td: TreeDecomposition
+    ) -> "GeneralizedHypertreeDecomposition":
+        """Attach greedy edge covers to a TD's bags (not necessarily optimal)."""
+        from repro.core.covers import greedy_edge_cover
+
+        def transform(node: TreeNode) -> Dict:
+            bag = node.data["bag"]
+            cover = greedy_edge_cover(td.hypergraph, bag)
+            if cover is None:
+                raise ValueError(f"bag {set(bag)} has no edge cover")
+            return {"bag": bag, "cover": tuple(cover)}
+
+        return cls(td.hypergraph, td.tree.map_tree(transform))
+
+    # -- accessors ---------------------------------------------------------------
+
+    def cover(self, node: TreeNode) -> Tuple[Edge, ...]:
+        """The λ-label of ``node``."""
+        return node.data["cover"]
+
+    def ghd_width(self) -> int:
+        """The width of the GHD: the maximum λ-label size."""
+        return max(len(self.cover(node)) for node in self.tree.nodes())
+
+    # -- validity ------------------------------------------------------------------
+
+    def covers_are_valid(self) -> bool:
+        """Every λ-label consists of hypergraph edges and covers its bag."""
+        edge_sets = {e.name: e.vertices for e in self.hypergraph.edges}
+        for node in self.tree.nodes():
+            union = set()
+            for edge in self.cover(node):
+                if edge_sets.get(edge.name) != edge.vertices:
+                    return False
+                union.update(edge.vertices)
+            if not self.bag(node) <= union:
+                return False
+        return True
+
+    def is_valid(self) -> bool:
+        return super().is_valid() and self.covers_are_valid()
+
+    def satisfies_special_condition(self) -> bool:
+        """The HD special condition: ``B(T_u) ∩ ⋃λ(u) ⊆ B(u)`` for all ``u``."""
+        for node in self.tree.nodes():
+            subtree = self.subtree_vertices(node)
+            cover_union = self.hypergraph.vertices_of(self.cover(node))
+            if not (subtree & cover_union) <= self.bag(node):
+                return False
+        return True
+
+    def special_condition_violations(self) -> List[TreeNode]:
+        """The nodes at which the special condition is violated."""
+        violations = []
+        for node in self.tree.nodes():
+            subtree = self.subtree_vertices(node)
+            cover_union = self.hypergraph.vertices_of(self.cover(node))
+            if not (subtree & cover_union) <= self.bag(node):
+                violations.append(node)
+        return violations
+
+    def to_tree_decomposition(self) -> TreeDecomposition:
+        """Forget the λ-labels, keeping only the bags."""
+        return TreeDecomposition(
+            self.hypergraph,
+            self.tree.map_tree(lambda node: {"bag": node.data["bag"]}),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"GHD(nodes={self.tree.num_nodes()}, width={self.ghd_width()})"
+        )
+
+
+class HypertreeDecomposition(GeneralizedHypertreeDecomposition):
+    """A hypertree decomposition: a GHD satisfying the special condition."""
+
+    def is_valid(self) -> bool:
+        return super().is_valid() and self.satisfies_special_condition()
+
+    def __repr__(self) -> str:
+        return f"HD(nodes={self.tree.num_nodes()}, width={self.ghd_width()})"

@@ -1,0 +1,147 @@
+"""Rooted trees used as the skeletons of decompositions.
+
+A :class:`TreeNode` carries an arbitrary payload dictionary (bags, λ-labels,
+materialised relations, cost annotations...) so the same tree type serves
+tree decompositions, GHDs, join trees, and the partial decompositions built
+by the candidate-tree-decomposition solver.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional
+
+
+class TreeNode:
+    """A node of a rooted tree."""
+
+    __slots__ = ("node_id", "children", "parent", "data")
+
+    def __init__(self, node_id: int, data: Optional[Dict] = None):
+        self.node_id = node_id
+        self.children: List["TreeNode"] = []
+        self.parent: Optional["TreeNode"] = None
+        self.data: Dict = dict(data) if data else {}
+
+    def add_child(self, child: "TreeNode") -> "TreeNode":
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def __repr__(self) -> str:
+        return f"TreeNode(id={self.node_id}, children={len(self.children)})"
+
+
+class RootedTree:
+    """A rooted tree with integer node ids and payload dictionaries."""
+
+    def __init__(self):
+        self._nodes: Dict[int, TreeNode] = {}
+        self._root: Optional[TreeNode] = None
+        self._next_id = 0
+
+    @property
+    def root(self) -> TreeNode:
+        if self._root is None:
+            raise ValueError("tree has no root")
+        return self._root
+
+    def has_root(self) -> bool:
+        return self._root is not None
+
+    def new_node(self, parent: Optional[TreeNode] = None, **data) -> TreeNode:
+        """Create a node; without a parent it becomes the root."""
+        node = TreeNode(self._next_id, data)
+        self._next_id += 1
+        self._nodes[node.node_id] = node
+        if parent is None:
+            if self._root is not None:
+                raise ValueError("tree already has a root")
+            self._root = node
+        else:
+            parent.add_child(node)
+        return node
+
+    def nodes(self) -> List[TreeNode]:
+        """All nodes in pre-order (root first)."""
+        if self._root is None:
+            return []
+        return list(self.preorder(self._root))
+
+    def preorder(self, start: Optional[TreeNode] = None) -> Iterator[TreeNode]:
+        start = start or self.root
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def postorder(self, start: Optional[TreeNode] = None) -> Iterator[TreeNode]:
+        start = start or self.root
+        result: List[TreeNode] = []
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            result.append(node)
+            stack.extend(node.children)
+        return iter(reversed(result))
+
+    def subtree_nodes(self, node: TreeNode) -> List[TreeNode]:
+        """All nodes of the subtree rooted at ``node`` (pre-order)."""
+        return list(self.preorder(node))
+
+    def depth(self, node: TreeNode) -> int:
+        """Depth of ``node`` (the root has depth 0)."""
+        depth = 0
+        current = node
+        while current.parent is not None:
+            depth += 1
+            current = current.parent
+        return depth
+
+    def height(self) -> int:
+        """Height of the tree (a single-node tree has height 0)."""
+        if self._root is None:
+            return -1
+        return max(self.depth(node) for node in self.nodes())
+
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    def path(self, a: TreeNode, b: TreeNode) -> List[TreeNode]:
+        """The unique path between two nodes (inclusive)."""
+        ancestors_a = []
+        current: Optional[TreeNode] = a
+        while current is not None:
+            ancestors_a.append(current)
+            current = current.parent
+        index = {node.node_id: i for i, node in enumerate(ancestors_a)}
+        path_b = []
+        current = b
+        while current is not None and current.node_id not in index:
+            path_b.append(current)
+            current = current.parent
+        if current is None:
+            raise ValueError("nodes are not in the same tree")
+        return ancestors_a[: index[current.node_id] + 1] + list(reversed(path_b))
+
+    def map_tree(self, transform: Callable[[TreeNode], Dict]) -> "RootedTree":
+        """Structurally copy the tree, computing new payloads via ``transform``."""
+        new_tree = RootedTree()
+
+        def copy(node: TreeNode, parent: Optional[TreeNode]) -> None:
+            new_node = new_tree.new_node(parent, **transform(node))
+            for child in node.children:
+                copy(child, new_node)
+
+        if self._root is not None:
+            copy(self._root, None)
+        return new_tree
+
+    def copy(self) -> "RootedTree":
+        return self.map_tree(lambda node: dict(node.data))
+
+    def __repr__(self) -> str:
+        return f"RootedTree(nodes={self.num_nodes()})"

@@ -1,0 +1,77 @@
+"""Width helpers and decomposition verification utilities."""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional
+
+from repro.hypergraph.hypergraph import Hypergraph, Vertex
+from repro.decompositions.td import TreeDecomposition
+from repro.decompositions.ghd import (
+    GeneralizedHypertreeDecomposition,
+    HypertreeDecomposition,
+)
+
+
+def bag_cover_number(hypergraph: Hypergraph, bag: Iterable[Vertex]) -> Optional[int]:
+    """``ρ(bag)``: the minimum number of hyperedges needed to cover ``bag``.
+
+    Returns ``None`` when the bag cannot be covered at all (some vertex of
+    the bag occurs in no edge).  Exact branch-and-bound set cover; intended
+    for the small bags that appear in decompositions of queries.
+    """
+    from repro.core.covers import minimum_edge_cover
+
+    cover = minimum_edge_cover(hypergraph, bag)
+    return None if cover is None else len(cover)
+
+
+def verify_td(td: TreeDecomposition, expected_max_bag: Optional[int] = None) -> bool:
+    """Check TD validity and, optionally, an upper bound on bag sizes."""
+    if not td.is_valid():
+        return False
+    if expected_max_bag is not None:
+        if any(len(bag) > expected_max_bag for bag in td.bags()):
+            return False
+    return True
+
+
+def verify_ghd(
+    ghd: GeneralizedHypertreeDecomposition, expected_width: Optional[int] = None
+) -> bool:
+    """Check GHD validity and, optionally, an upper bound on its width."""
+    if not ghd.is_valid():
+        return False
+    if expected_width is not None and ghd.ghd_width() > expected_width:
+        return False
+    return True
+
+
+def verify_hd(
+    hd: HypertreeDecomposition, expected_width: Optional[int] = None
+) -> bool:
+    """Check HD validity (incl. special condition) and an optional width bound."""
+    if not isinstance(hd, GeneralizedHypertreeDecomposition):
+        return False
+    if not hd.is_valid() or not hd.satisfies_special_condition():
+        return False
+    if expected_width is not None and hd.ghd_width() > expected_width:
+        return False
+    return True
+
+
+def is_complete_join_tree(td: TreeDecomposition) -> bool:
+    """``True`` iff every bag of the TD is covered by a single hyperedge.
+
+    Such decompositions are exactly the join trees of α-acyclic hypergraphs
+    (width-1 GHDs).
+    """
+    hypergraph = td.hypergraph
+    for bag in td.bags():
+        if not any(bag <= edge.vertices for edge in hypergraph.edges):
+            return False
+    return True
+
+
+def single_edge_coverable(hypergraph: Hypergraph, bag: FrozenSet[Vertex]) -> bool:
+    """``True`` iff the bag is a subset of a single hyperedge."""
+    return any(bag <= edge.vertices for edge in hypergraph.edges)

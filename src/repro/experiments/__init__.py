@@ -1,0 +1,17 @@
+"""Experiment harness reproducing the paper's evaluation (Section 7 + Appendix D)."""
+
+from repro.experiments.harness import (
+    DecompositionEvaluation,
+    QueryExperiment,
+)
+from repro.experiments.report import (
+    format_figure_rows,
+    format_table,
+)
+
+__all__ = [
+    "QueryExperiment",
+    "DecompositionEvaluation",
+    "format_figure_rows",
+    "format_table",
+]

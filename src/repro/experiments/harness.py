@@ -1,0 +1,203 @@
+"""The per-query experiment harness behind every figure and table.
+
+For a benchmark query the harness mirrors the paper's pipeline
+(Appendix C.1):
+
+1. extract the query hypergraph,
+2. compute the candidate bags ``Soft_{H,k}`` and the ConCov-filtered subset,
+3. enumerate the top-n candidate tree decompositions ranked by a cost
+   function (Algorithm 2 / the ranked enumerator),
+4. execute each decomposition through the Yannakakis executor,
+5. execute the baseline (estimate-driven greedy join plan), and
+6. report, per decomposition, the cost under both cost functions and the
+   measured execution effort.
+
+The numbers of interest are the *relationships* — which decompositions are
+cheap, how they compare to the baseline, how well each cost function
+correlates with measured effort — matching how the paper presents Figures 5,
+6 and 12–17.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.decompositions.td import TreeDecomposition
+from repro.core.candidate_bags import filter_bags_by_cover, soft_candidate_bags
+from repro.core.constraints import ConnectedCoverConstraint, NoConstraint, SubtreeConstraint
+from repro.core.enumerate import enumerate_ctds
+from repro.db.cost import CardinalityCostModel, EstimateCostModel
+from repro.db.database import Database
+from repro.db.executor import BaselineExecutor, DecompositionExecutor, ExecutionMetrics
+from repro.db.query import ConjunctiveQuery
+from repro.db.stats import CardinalityEstimator
+
+
+@dataclass
+class DecompositionEvaluation:
+    """One evaluated decomposition: its costs and its measured execution."""
+
+    rank: int
+    decomposition: TreeDecomposition
+    cardinality_cost: float
+    estimate_cost: float
+    metrics: ExecutionMetrics
+
+    @property
+    def work(self) -> int:
+        return self.metrics.work
+
+    @property
+    def wall_time(self) -> float:
+        return self.metrics.wall_time
+
+
+class QueryExperiment:
+    """All per-query measurements the figures and tables need."""
+
+    def __init__(
+        self,
+        database: Database,
+        query: ConjunctiveQuery,
+        width: int,
+        name: Optional[str] = None,
+    ):
+        self.database = database
+        self.query = query
+        self.width = width
+        self.name = name or query.name
+        self.hypergraph = query.hypergraph()
+        self.estimator = CardinalityEstimator(database)
+        self._soft_bags = None
+        self._concov_bags = None
+        self._cardinality_model = CardinalityCostModel(query, database)
+        self._estimate_model = EstimateCostModel(query, database, estimator=self.estimator)
+        self._executor = DecompositionExecutor(database, query)
+
+    # -- candidate bags -----------------------------------------------------------
+
+    @property
+    def soft_bags(self):
+        if self._soft_bags is None:
+            self._soft_bags = soft_candidate_bags(self.hypergraph, self.width)
+        return self._soft_bags
+
+    @property
+    def concov_bags(self):
+        if self._concov_bags is None:
+            self._concov_bags = filter_bags_by_cover(
+                self.hypergraph, self.soft_bags, self.width, connected=True
+            )
+        return self._concov_bags
+
+    def concov_constraint(self) -> ConnectedCoverConstraint:
+        return ConnectedCoverConstraint(self.hypergraph, self.width)
+
+    # -- decomposition enumeration ------------------------------------------------------
+
+    def ranked_decompositions(
+        self,
+        cost: str = "cardinalities",
+        limit: int = 10,
+        constrained: bool = True,
+    ) -> Tuple[List[TreeDecomposition], float]:
+        """Top-``limit`` CTDs ranked by a cost function, plus the time taken.
+
+        ``cost`` is ``"cardinalities"`` (Appendix C.2.2), ``"estimates"``
+        (Appendix C.2.1) or ``"none"`` (arbitrary order).  ``constrained``
+        enforces ConCov, matching the paper's experiments.
+        """
+        from repro.db.cost import make_cost_preference
+
+        constraint: SubtreeConstraint
+        constraint = self.concov_constraint() if constrained else NoConstraint()
+        preference = None
+        if cost != "none":
+            preference = make_cost_preference(cost, self.query, self.database, self.estimator)
+        start = time.perf_counter()
+        decompositions = enumerate_ctds(
+            self.hypergraph,
+            self.soft_bags,
+            constraint=constraint,
+            preference=preference,
+            limit=limit,
+        )
+        elapsed = time.perf_counter() - start
+        return decompositions, elapsed
+
+    def random_decompositions(
+        self, count: int, constrained: bool, seed: int = 0
+    ) -> List[TreeDecomposition]:
+        """``count`` decompositions sampled from a wide enumeration.
+
+        Used for the right-hand chart of Figure 6 (average runtime of random
+        width-k decompositions with and without ConCov).
+        """
+        constraint = self.concov_constraint() if constrained else NoConstraint()
+        pool = enumerate_ctds(
+            self.hypergraph,
+            self.soft_bags,
+            constraint=constraint,
+            preference=None,
+            limit=max(4 * count, 20),
+            beam=max(4 * count, 20),
+        )
+        if not pool:
+            return []
+        rng = random.Random(seed)
+        if len(pool) <= count:
+            return pool
+        return rng.sample(pool, count)
+
+    # -- evaluation --------------------------------------------------------------------------
+
+    def evaluate(self, decompositions: Sequence[TreeDecomposition]) -> List[DecompositionEvaluation]:
+        """Execute each decomposition and attach both cost-function values."""
+        evaluations = []
+        for rank, decomposition in enumerate(decompositions, start=1):
+            metrics = self._executor.execute(decomposition)
+            evaluations.append(
+                DecompositionEvaluation(
+                    rank=rank,
+                    decomposition=decomposition,
+                    cardinality_cost=self._cardinality_model.decomposition_cost(decomposition),
+                    estimate_cost=self._estimate_model.decomposition_cost(decomposition),
+                    metrics=metrics,
+                )
+            )
+        return evaluations
+
+    def baseline(self) -> ExecutionMetrics:
+        """The DBMS-style baseline execution of the query."""
+        return BaselineExecutor(self.database, self.query, self.estimator).execute()
+
+    # -- Table 1 -----------------------------------------------------------------------------
+
+    def concov_shw(self, max_k: Optional[int] = None) -> int:
+        """``ConCov-shw`` of the query hypergraph: least k with a ConCov CTD."""
+        from repro.core.soft import shw_leq
+
+        limit = max_k if max_k is not None else max(self.width, self.hypergraph.num_edges())
+        for k in range(1, limit + 1):
+            constraint = ConnectedCoverConstraint(self.hypergraph, k)
+            if shw_leq(self.hypergraph, k, constraint=constraint) is not None:
+                return k
+        raise ValueError(f"ConCov-shw exceeds {limit}")
+
+    def table1_row(self, top_n: int = 10) -> Dict[str, object]:
+        """The row of Table 1 for this query."""
+        concov_decompositions, elapsed = self.ranked_decompositions(
+            cost="cardinalities", limit=top_n, constrained=True
+        )
+        return {
+            "query": self.name,
+            "concov_shw": self.concov_shw(max_k=self.width + 2),
+            "hypergraph_size": self.hypergraph.num_edges(),
+            "soft_bags": len(self.soft_bags),
+            "concov_soft_bags": len(self.concov_bags),
+            "top10_seconds": elapsed,
+            "num_decompositions": len(concov_decompositions),
+        }

@@ -1,0 +1,62 @@
+"""Hypergraph substrate.
+
+This package provides the hypergraph data structure and the connectivity
+machinery ([S]-components, separators, induced subhypergraphs) that every
+decomposition algorithm in :mod:`repro` builds on, together with generators
+for random hypergraphs and a library of the named hypergraphs used in the
+paper (``H2``, ``H3``, ``H3'``, the ``H*_BOG`` family, cycles, grids).
+"""
+
+from repro.hypergraph.hypergraph import Edge, Hypergraph
+from repro.hypergraph.components import (
+    connected_components,
+    edge_components,
+    is_connected,
+    vertex_components,
+)
+from repro.hypergraph.gaifman import gaifman_graph, is_clique, neighbours
+from repro.hypergraph.generators import (
+    random_hypergraph,
+    random_acyclic_hypergraph,
+    random_cyclic_query_hypergraph,
+)
+from repro.hypergraph.library import (
+    cycle_hypergraph,
+    example4_query,
+    four_cycle_query,
+    grid_hypergraph,
+    hypergraph_h2,
+    hypergraph_h3,
+    hypergraph_h3_prime,
+    hypergraph_bog_star,
+    triangle_hypergraph,
+)
+from repro.hypergraph.io import parse_hyperbench, to_hyperbench
+from repro.hypergraph.stats import hypergraph_statistics
+
+__all__ = [
+    "Edge",
+    "Hypergraph",
+    "connected_components",
+    "edge_components",
+    "vertex_components",
+    "is_connected",
+    "gaifman_graph",
+    "neighbours",
+    "is_clique",
+    "random_hypergraph",
+    "random_acyclic_hypergraph",
+    "random_cyclic_query_hypergraph",
+    "cycle_hypergraph",
+    "four_cycle_query",
+    "example4_query",
+    "grid_hypergraph",
+    "triangle_hypergraph",
+    "hypergraph_h2",
+    "hypergraph_h3",
+    "hypergraph_h3_prime",
+    "hypergraph_bog_star",
+    "parse_hyperbench",
+    "to_hyperbench",
+    "hypergraph_statistics",
+]

@@ -1,0 +1,160 @@
+"""Connectivity and [S]-components.
+
+Terminology follows Section 2 of the paper.  For a vertex set ``S``:
+
+* two vertices ``u, v ∉ S`` are *[S]-connected* if there is a path between
+  them that avoids ``S``;
+* two edges are [S]-connected if they contain [S]-connected vertices;
+* an *[S]-component* is a maximal set of pairwise [S]-connected edges;
+* the corresponding *vertex component* is the maximal set of pairwise
+  [S]-connected vertices.
+
+Both flavours are used: Definition 3 (candidate bags) needs edge components,
+the block machinery of Algorithm 1 needs vertex components.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+from repro.hypergraph.hypergraph import Edge, Hypergraph, Vertex
+
+
+class _UnionFind:
+    """Union-find over arbitrary hashable items."""
+
+    def __init__(self, items: Iterable):
+        self._parent = {item: item for item in items}
+
+    def find(self, item):
+        parent = self._parent
+        root = item
+        while parent[root] != root:
+            root = parent[root]
+        while parent[item] != root:
+            parent[item], item = root, parent[item]
+        return root
+
+    def union(self, a, b) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[ra] = rb
+
+    def groups(self) -> Dict:
+        result: Dict = {}
+        for item in self._parent:
+            result.setdefault(self.find(item), []).append(item)
+        return result
+
+
+def vertex_components(
+    hypergraph: Hypergraph, separator: Iterable[Vertex] = ()
+) -> List[FrozenSet[Vertex]]:
+    """Maximal sets of pairwise [S]-connected vertices.
+
+    Vertices in the separator never appear in any component.  The result is
+    sorted deterministically (by sorted string representation) so callers can
+    rely on a stable ordering.
+    """
+    sep = frozenset(separator)
+    outside = [v for v in hypergraph.vertices if v not in sep]
+    if not outside:
+        return []
+    uf = _UnionFind(outside)
+    for edge in hypergraph.edges:
+        free = [v for v in edge.vertices if v not in sep]
+        for i in range(1, len(free)):
+            uf.union(free[0], free[i])
+    comps = [frozenset(group) for group in uf.groups().values()]
+    return sorted(comps, key=lambda c: sorted(map(str, c)))
+
+
+def edge_components(
+    hypergraph: Hypergraph, separator: Iterable[Vertex] = ()
+) -> List[Tuple[Edge, ...]]:
+    """Maximal sets of pairwise [S]-connected edges ([S]-components).
+
+    An edge entirely contained in the separator belongs to no component.
+    The components are returned in the same order as the matching vertex
+    components.
+    """
+    sep = frozenset(separator)
+    vcomps = vertex_components(hypergraph, sep)
+    index: Dict[Vertex, int] = {}
+    for i, comp in enumerate(vcomps):
+        for v in comp:
+            index[v] = i
+    buckets: List[List[Edge]] = [[] for _ in vcomps]
+    for edge in hypergraph.edges:
+        free = next((v for v in edge.vertices if v not in sep), None)
+        if free is not None:
+            buckets[index[free]].append(edge)
+    return [tuple(bucket) for bucket in buckets if bucket]
+
+
+def lambda_components(
+    hypergraph: Hypergraph, lambda_edges: Iterable[Edge]
+) -> List[Tuple[Edge, ...]]:
+    """[λ]-components: edge components w.r.t. the union of the λ edges."""
+    separator = hypergraph.vertices_of(lambda_edges)
+    return edge_components(hypergraph, separator)
+
+
+def component_vertices(component: Iterable[Edge]) -> FrozenSet[Vertex]:
+    """``⋃C`` for an (edge) component ``C``."""
+    result = set()
+    for edge in component:
+        result.update(edge.vertices)
+    return frozenset(result)
+
+
+def connected_components(hypergraph: Hypergraph) -> List[FrozenSet[Vertex]]:
+    """Connected components of the hypergraph (as vertex sets)."""
+    return vertex_components(hypergraph, ())
+
+
+def is_connected(hypergraph: Hypergraph) -> bool:
+    """``True`` iff the hypergraph has at most one connected component."""
+    return len(connected_components(hypergraph)) <= 1
+
+
+def separates(
+    hypergraph: Hypergraph, separator: Iterable[Vertex], u: Vertex, v: Vertex
+) -> bool:
+    """``True`` iff ``u`` and ``v`` are *not* [S]-connected.
+
+    Vertices inside the separator are considered separated from everything
+    (they cannot participate in [S]-paths).
+    """
+    sep = frozenset(separator)
+    if u in sep or v in sep:
+        return True
+    for comp in vertex_components(hypergraph, sep):
+        if u in comp and v in comp:
+            return False
+    return True
+
+
+def is_minimal_separator(
+    hypergraph: Hypergraph, separator: Iterable[Vertex]
+) -> bool:
+    """Check whether ``separator`` is a minimal separator of the Gaifman graph.
+
+    A vertex set ``S`` is a minimal separator if at least two [S]-components
+    are *full*, i.e. every vertex of ``S`` has a neighbour in the component.
+    (This is the classical Bouchitté–Todinca characterisation.)
+    """
+    sep = frozenset(separator)
+    if not sep:
+        return False
+    full = 0
+    for comp in vertex_components(hypergraph, sep):
+        attached = set()
+        for edge in hypergraph.edges:
+            if edge.vertices & comp:
+                attached.update(edge.vertices & sep)
+        if attached == sep:
+            full += 1
+            if full >= 2:
+                return True
+    return False

@@ -1,0 +1,47 @@
+"""Gaifman (primal) graph utilities.
+
+The Gaifman graph of a hypergraph ``H`` has the same vertices and an edge
+between two vertices whenever they co-occur in some hyperedge.  Tree
+decompositions of ``H`` coincide with tree decompositions of its Gaifman
+graph; the hyperedges themselves are only needed for λ-labels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Set
+
+from repro.hypergraph.hypergraph import Hypergraph, Vertex
+
+
+def gaifman_graph(hypergraph: Hypergraph) -> Dict[Vertex, FrozenSet[Vertex]]:
+    """Adjacency map of the Gaifman graph (vertex -> neighbours, no self loops)."""
+    adjacency: Dict[Vertex, Set[Vertex]] = {v: set() for v in hypergraph.vertices}
+    for edge in hypergraph.edges:
+        verts = list(edge.vertices)
+        for i, u in enumerate(verts):
+            for v in verts[i + 1:]:
+                adjacency[u].add(v)
+                adjacency[v].add(u)
+    return {v: frozenset(neigh) for v, neigh in adjacency.items()}
+
+
+def neighbours(hypergraph: Hypergraph, vertex: Vertex) -> FrozenSet[Vertex]:
+    """Neighbours of ``vertex`` in the Gaifman graph."""
+    result: Set[Vertex] = set()
+    for edge in hypergraph.incident_edges(vertex):
+        result.update(edge.vertices)
+    result.discard(vertex)
+    return frozenset(result)
+
+
+def is_clique(hypergraph: Hypergraph, vertex_set: Iterable[Vertex]) -> bool:
+    """``True`` iff ``vertex_set`` is a clique in the Gaifman graph."""
+    verts = list(frozenset(vertex_set))
+    adjacency = None
+    for i, u in enumerate(verts):
+        for v in verts[i + 1:]:
+            if adjacency is None:
+                adjacency = gaifman_graph(hypergraph)
+            if v not in adjacency.get(u, frozenset()):
+                return False
+    return True

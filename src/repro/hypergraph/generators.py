@@ -1,0 +1,100 @@
+"""Random hypergraph generators.
+
+These are used by the property-based tests and by the synthetic-workload
+benchmarks.  All generators are deterministic for a fixed ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+def random_hypergraph(
+    num_vertices: int,
+    num_edges: int,
+    max_edge_size: int = 3,
+    seed: Optional[int] = None,
+) -> Hypergraph:
+    """A random hypergraph with no isolated vertices.
+
+    Each edge picks between 2 and ``max_edge_size`` distinct vertices
+    uniformly at random; afterwards every vertex not yet covered is attached
+    to a fresh binary edge so that the result has no isolated vertices (an
+    assumption of the decomposition algorithms).
+    """
+    if num_vertices < 2:
+        raise ValueError("need at least two vertices")
+    rng = random.Random(seed)
+    vertices = [f"v{i}" for i in range(num_vertices)]
+    edges = {}
+    for i in range(num_edges):
+        size = rng.randint(2, max(2, min(max_edge_size, num_vertices)))
+        edges[f"e{i}"] = rng.sample(vertices, size)
+    covered = {v for verts in edges.values() for v in verts}
+    extra = 0
+    for v in vertices:
+        if v not in covered:
+            other = rng.choice([u for u in vertices if u != v])
+            edges[f"iso{extra}"] = [v, other]
+            extra += 1
+    return Hypergraph(edges)
+
+
+def random_acyclic_hypergraph(
+    num_edges: int,
+    edge_size: int = 3,
+    seed: Optional[int] = None,
+) -> Hypergraph:
+    """A random α-acyclic hypergraph built by growing a join tree.
+
+    Each new edge shares a random non-empty subset of vertices with an
+    existing edge and adds fresh vertices for the rest, which guarantees the
+    result has a join tree (and therefore hw = ghw = shw = 1).
+    """
+    rng = random.Random(seed)
+    counter = 0
+
+    def fresh() -> str:
+        nonlocal counter
+        counter += 1
+        return f"x{counter}"
+
+    edges: List[List[str]] = [[fresh() for _ in range(edge_size)]]
+    for _ in range(1, num_edges):
+        parent = rng.choice(edges)
+        shared = rng.sample(parent, rng.randint(1, max(1, edge_size - 1)))
+        new_edge = shared + [fresh() for _ in range(edge_size - len(shared))]
+        edges.append(new_edge)
+    return Hypergraph({f"e{i}": verts for i, verts in enumerate(edges)})
+
+
+def random_cyclic_query_hypergraph(
+    cycle_length: int,
+    num_tails: int = 2,
+    seed: Optional[int] = None,
+) -> Hypergraph:
+    """A cyclic-core-plus-acyclic-tails hypergraph.
+
+    This mimics the shape of the paper's benchmark queries: a cycle of
+    ``cycle_length`` binary atoms (the cyclic "core") with ``num_tails``
+    acyclic chains attached to random cycle vertices.  Such queries have a
+    small ShallowCyc depth, which the constraint benchmarks exercise.
+    """
+    if cycle_length < 3:
+        raise ValueError("cycle length must be at least 3")
+    rng = random.Random(seed)
+    edges = {
+        f"c{i}": [f"u{i}", f"u{(i + 1) % cycle_length}"] for i in range(cycle_length)
+    }
+    for t in range(num_tails):
+        anchor = f"u{rng.randrange(cycle_length)}"
+        length = rng.randint(1, 3)
+        prev = anchor
+        for step in range(length):
+            nxt = f"t{t}_{step}"
+            edges[f"tail{t}_{step}"] = [prev, nxt]
+            prev = nxt
+    return Hypergraph(edges)

@@ -1,0 +1,69 @@
+"""Reading and writing hypergraphs in the HyperBench text format.
+
+The HyperBench format (Fischl et al., ACM JEA 2021) writes one edge per line
+as ``name(v1,v2,...),`` with an optional trailing comma on the last line and
+``%``-prefixed comment lines.  Both detkdecomp and BalancedGo consume this
+format, so supporting it makes the library interoperable with the published
+benchmark instances.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.hypergraph.hypergraph import Hypergraph
+
+_EDGE_PATTERN = re.compile(r"\s*([\w.\-]+)\s*\(([^)]*)\)\s*,?\s*$")
+
+
+def parse_hyperbench(text: str) -> Hypergraph:
+    """Parse a hypergraph from HyperBench text."""
+    edges = {}
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("%") or line.startswith("#"):
+            continue
+        # Several edges may share a physical line, separated by "),".
+        for chunk in _split_edges(line):
+            match = _EDGE_PATTERN.match(chunk)
+            if not match:
+                raise ValueError(f"cannot parse edge declaration: {chunk!r}")
+            name, vertex_list = match.groups()
+            vertices = [v.strip() for v in vertex_list.split(",") if v.strip()]
+            if not vertices:
+                raise ValueError(f"edge {name!r} has no vertices")
+            if name in edges:
+                raise ValueError(f"duplicate edge name {name!r}")
+            edges[name] = vertices
+    if not edges:
+        raise ValueError("no edges found in input")
+    return Hypergraph(edges)
+
+
+def _split_edges(line: str) -> List[str]:
+    """Split a physical line into one chunk per edge declaration."""
+    chunks = []
+    depth = 0
+    current = []
+    for char in line:
+        current.append(char)
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        elif char == "," and depth == 0:
+            chunks.append("".join(current))
+            current = []
+    if "".join(current).strip():
+        chunks.append("".join(current))
+    return chunks
+
+
+def to_hyperbench(hypergraph: Hypergraph) -> str:
+    """Serialise a hypergraph to HyperBench text (one edge per line)."""
+    lines = []
+    for edge in hypergraph.edges:
+        vertices = ",".join(sorted(map(str, edge.vertices)))
+        lines.append(f"{edge.name}({vertices}),")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,68 @@
+"""Structural statistics of hypergraphs.
+
+These are the properties HyperBench (Fischl et al.) reports for its
+instances and that the tractability results around candidate tree
+decompositions refer to (bounded rank, bounded degree, bounded
+multi-intersection).  They are useful both for characterising query
+workloads and for deciding which of the tractable ghw/fhw fragments of
+Gottlob et al. apply to a given instance.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict
+
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+def rank(hypergraph: Hypergraph) -> int:
+    """The rank: the size of the largest edge."""
+    return max((len(edge) for edge in hypergraph.edges), default=0)
+
+
+def degree(hypergraph: Hypergraph) -> int:
+    """The degree: the largest number of edges sharing one vertex."""
+    return max(
+        (len(hypergraph.incident_edges(v)) for v in hypergraph.vertices), default=0
+    )
+
+
+def intersection_width(hypergraph: Hypergraph) -> int:
+    """The largest intersection of two distinct edges (the BIP parameter)."""
+    best = 0
+    for a, b in combinations(hypergraph.edges, 2):
+        best = max(best, len(a.vertices & b.vertices))
+    return best
+
+
+def multi_intersection_width(hypergraph: Hypergraph, count: int) -> int:
+    """The largest intersection of ``count`` distinct edges (the BMIP parameter)."""
+    if count < 2:
+        raise ValueError("count must be at least 2")
+    if hypergraph.num_edges() < count:
+        return 0
+    best = 0
+    for edges in combinations(hypergraph.edges, count):
+        intersection = edges[0].vertices
+        for edge in edges[1:]:
+            intersection = intersection & edge.vertices
+            if len(intersection) <= best:
+                break
+        best = max(best, len(intersection))
+    return best
+
+
+def hypergraph_statistics(hypergraph: Hypergraph) -> Dict[str, int]:
+    """A HyperBench-style summary of a hypergraph."""
+    return {
+        "vertices": hypergraph.num_vertices(),
+        "edges": hypergraph.num_edges(),
+        "size": hypergraph.size(),
+        "rank": rank(hypergraph),
+        "degree": degree(hypergraph),
+        "intersection_width": intersection_width(hypergraph),
+        "triple_intersection_width": multi_intersection_width(hypergraph, 3)
+        if hypergraph.num_edges() >= 3
+        else 0,
+    }

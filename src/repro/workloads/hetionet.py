@@ -1,0 +1,110 @@
+"""A Hetionet-like workload: skewed edge tables and the four graph queries.
+
+The paper's Hetionet queries are cyclic self-join queries over edge tables
+named ``hetio<metaedge id>`` with schema ``(s, d)``.  We generate one random
+directed graph per edge table over a shared node universe with a heavy-tailed
+(hub-dominated) degree distribution — the property that makes bad
+decompositions of the cyclic patterns expensive on the real knowledge graph.
+The SQL of the four queries is reproduced verbatim from Appendix D.2
+(Listings 2–5).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.db.database import Database
+from repro.db.query import ConjunctiveQuery
+from repro.db.sqlish import parse_select_query
+
+#: The edge tables referenced by the benchmark queries.
+EDGE_TABLES = ("hetio45159", "hetio45160", "hetio45173", "hetio45176", "hetio45177")
+
+HETIONET_QUERY_SQL: Dict[str, str] = {
+    # Listing 2 — q_hto
+    "q_hto": """
+SELECT MIN(hetio45173_0.s)
+FROM hetio45173 AS hetio45173_0, hetio45173 AS hetio45173_1,
+     hetio45160 AS hetio45160_2, hetio45160 AS hetio45160_3,
+     hetio45160 AS hetio45160_4, hetio45159 AS hetio45159_5,
+     hetio45159 AS hetio45159_6
+WHERE hetio45173_0.s = hetio45173_1.s AND hetio45173_0.d = hetio45160_2.s AND
+      hetio45173_1.d = hetio45160_3.s AND hetio45160_2.d = hetio45160_3.d AND
+      hetio45160_3.d = hetio45160_4.s AND hetio45160_4.s = hetio45159_5.s AND
+      hetio45160_4.d = hetio45159_6.s AND hetio45159_5.d = hetio45159_6.d
+""",
+    # Listing 3 — q_hto2
+    "q_hto2": """
+SELECT MAX(hetio45160.d)
+FROM hetio45173 AS hetio45173_0, hetio45173 AS hetio45173_1, hetio45173 AS
+     hetio45173_2, hetio45173 AS hetio45173_3, hetio45160, hetio45176 AS
+     hetio45176_5, hetio45176 AS hetio45176_6
+WHERE hetio45173_0.s = hetio45173_1.s AND hetio45173_0.d = hetio45173_2.s AND
+      hetio45173_1.d = hetio45173_3.s AND hetio45173_2.d = hetio45173_3.d AND
+      hetio45173_3.d = hetio45160.s AND hetio45160.s = hetio45176_5.s AND
+      hetio45160.d = hetio45176_6.s AND hetio45176_5.d = hetio45176_6.d
+""",
+    # Listing 4 — q_hto3
+    "q_hto3": """
+SELECT MIN(hetio45173_2.d)
+FROM hetio45173 AS hetio45173_0, hetio45173 AS hetio45173_1, hetio45173 AS
+     hetio45173_2, hetio45173 AS hetio45173_3
+WHERE hetio45173_0.s = hetio45173_1.s AND hetio45173_0.d = hetio45173_2.s
+      AND hetio45173_1.d = hetio45173_3.d AND hetio45173_2.d = hetio45173_3.s
+""",
+    # Listing 5 — q_hto4
+    "q_hto4": """
+SELECT MIN(hetio45160_0.s)
+FROM hetio45160 AS hetio45160_0, hetio45160 AS hetio45160_1,
+     hetio45177, hetio45160 AS hetio45160_3, hetio45159 AS
+     hetio45159_4, hetio45159 AS hetio45159_5
+WHERE hetio45160_0.s = hetio45160_1.s AND hetio45160_0.d = hetio45177.s
+      AND hetio45160_1.d = hetio45177.d AND hetio45177.d = hetio45160_3.s
+      AND hetio45160_3.s = hetio45159_4.s AND hetio45160_3.d = hetio45159_5.s
+      AND hetio45159_4.d = hetio45159_5.d
+""",
+}
+
+
+def _skewed_edges(
+    rng: random.Random, num_nodes: int, num_edges: int, hub_fraction: float = 0.08
+) -> List[Tuple[int, int]]:
+    """A random edge list with a hub-dominated degree distribution."""
+    hubs = max(1, int(num_nodes * hub_fraction))
+    edges = set()
+    attempts = 0
+    while len(edges) < num_edges and attempts < num_edges * 20:
+        attempts += 1
+        if rng.random() < 0.5:
+            source = rng.randrange(hubs)
+        else:
+            source = rng.randrange(num_nodes)
+        if rng.random() < 0.5:
+            target = rng.randrange(hubs)
+        else:
+            target = rng.randrange(num_nodes)
+        if source != target:
+            edges.add((source, target))
+    return sorted(edges)
+
+
+def build_hetionet_database(
+    scale: float = 1.0, seed: Optional[int] = 11
+) -> Database:
+    """Generate the synthetic Hetionet-like database (five edge tables)."""
+    rng = random.Random(seed)
+    num_nodes = max(20, int(160 * scale))
+    edges_per_table = max(30, int(450 * scale))
+    database = Database()
+    for table in EDGE_TABLES:
+        rows = _skewed_edges(rng, num_nodes, edges_per_table)
+        database.create_table(table, ["s", "d"], rows)
+    return database
+
+
+def hetionet_query(database: Database, name: str) -> ConjunctiveQuery:
+    """One of the four Hetionet benchmark queries (``q_hto`` .. ``q_hto4``)."""
+    if name not in HETIONET_QUERY_SQL:
+        raise KeyError(f"unknown Hetionet query {name!r}")
+    return parse_select_query(HETIONET_QUERY_SQL[name], database, name=name)

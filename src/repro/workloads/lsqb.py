@@ -1,0 +1,75 @@
+"""An LSQB-like workload: the social-network query ``q_lb``.
+
+LSQB ("Labelled Subgraph Query Benchmark") models a social network; the
+paper's query ``q_lb`` (Appendix D.2, Listing 6) joins three city aliases in
+the same country, two persons located in two of those cities, and a
+knows-edge between the persons.  We generate a small synthetic network with
+the same schema: a few countries, cities clustered into countries, persons
+clustered into cities and a skewed knows-graph.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.db.database import Database
+from repro.db.query import ConjunctiveQuery
+from repro.db.sqlish import parse_select_query
+
+#: Query ``q_lb`` exactly as printed in Appendix D.2 (Listing 6).
+QLB_SQL = """
+SELECT MIN(pkp1.Person1Id)
+FROM City AS CityA
+JOIN City AS CityB
+  ON CityB.isPartOf_CountryId = CityA.isPartOf_CountryId
+JOIN City AS CityC
+  ON CityC.isPartOf_CountryId = CityA.isPartOf_CountryId
+JOIN Person AS PersonA
+  ON PersonA.isLocatedIn_CityId = CityA.CityId
+JOIN Person AS PersonB
+  ON PersonB.isLocatedIn_CityId = CityB.CityId
+JOIN Person_knows_Person AS pkp1
+  ON pkp1.Person1Id = PersonA.PersonId
+ AND pkp1.Person2Id = PersonB.PersonId
+"""
+
+
+def build_lsqb_database(scale: float = 1.0, seed: Optional[int] = 23) -> Database:
+    """Generate the synthetic LSQB-like social network."""
+    rng = random.Random(seed)
+    num_countries = max(3, int(12 * scale))
+    num_cities = max(6, int(120 * scale))
+    num_persons = max(20, int(700 * scale))
+    num_knows = max(40, int(2200 * scale))
+
+    database = Database()
+    database.create_table(
+        "City",
+        ["CityId", "isPartOf_CountryId"],
+        [(city, rng.randrange(num_countries)) for city in range(num_cities)],
+        primary_key="CityId",
+    )
+    database.create_table(
+        "Person",
+        ["PersonId", "isLocatedIn_CityId"],
+        [(person, rng.randrange(num_cities)) for person in range(num_persons)],
+        primary_key="PersonId",
+    )
+    knows = set()
+    attempts = 0
+    while len(knows) < num_knows and attempts < num_knows * 20:
+        attempts += 1
+        a = rng.randrange(num_persons)
+        b = rng.randrange(num_persons)
+        if a != b:
+            knows.add((a, b))
+    database.create_table(
+        "Person_knows_Person", ["Person1Id", "Person2Id"], sorted(knows)
+    )
+    return database
+
+
+def lsqb_query_qlb(database: Database) -> ConjunctiveQuery:
+    """The conjunctive query for ``q_lb`` resolved against the database schema."""
+    return parse_select_query(QLB_SQL, database, name="q_lb")

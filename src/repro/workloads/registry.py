@@ -1,0 +1,77 @@
+"""A registry of the six benchmark queries of the paper's evaluation.
+
+Table 1 and Figures 5, 6 and 12–17 all range over the same six queries:
+``q_ds`` (TPC-DS), ``q_hto`` .. ``q_hto4`` (Hetionet) and ``q_lb`` (LSQB).
+The registry bundles each query with its database builder and the width
+parameter ``k`` the paper uses for it (2 for all queries except ``q_lb``,
+whose connected soft hypertree width is 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.db.database import Database
+from repro.db.query import ConjunctiveQuery
+from repro.workloads.tpcds import build_tpcds_database, tpcds_query_qds
+from repro.workloads.hetionet import build_hetionet_database, hetionet_query
+from repro.workloads.lsqb import build_lsqb_database, lsqb_query_qlb
+
+
+@dataclass
+class BenchmarkQuery:
+    """One benchmark query together with its data generator and parameters."""
+
+    name: str
+    dataset: str
+    width: int
+    build_database: Callable[..., Database]
+    build_query: Callable[[Database], ConjunctiveQuery]
+
+    def load(self, scale: float = 1.0, seed: Optional[int] = None):
+        """Build (database, query); the seed defaults to the generator's own."""
+        kwargs = {"scale": scale}
+        if seed is not None:
+            kwargs["seed"] = seed
+        database = self.build_database(**kwargs)
+        return database, self.build_query(database)
+
+
+def benchmark_queries() -> List[BenchmarkQuery]:
+    """The six queries of the paper's evaluation, in Table 1 order."""
+    hetionet_entries = [
+        BenchmarkQuery(
+            name=name,
+            dataset="hetionet",
+            width=2,
+            build_database=build_hetionet_database,
+            build_query=lambda db, _name=name: hetionet_query(db, _name),
+        )
+        for name in ("q_hto", "q_hto2", "q_hto3", "q_hto4")
+    ]
+    return [
+        BenchmarkQuery(
+            name="q_ds",
+            dataset="tpcds",
+            width=2,
+            build_database=build_tpcds_database,
+            build_query=tpcds_query_qds,
+        ),
+        *hetionet_entries,
+        BenchmarkQuery(
+            name="q_lb",
+            dataset="lsqb",
+            width=3,
+            build_database=build_lsqb_database,
+            build_query=lsqb_query_qlb,
+        ),
+    ]
+
+
+def benchmark_query(name: str) -> BenchmarkQuery:
+    """Look up a benchmark query by name."""
+    for entry in benchmark_queries():
+        if entry.name == name:
+            return entry
+    raise KeyError(f"unknown benchmark query {name!r}")

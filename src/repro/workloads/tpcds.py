@@ -1,0 +1,113 @@
+"""A TPC-DS-like workload for the query ``q_ds`` of the paper's evaluation.
+
+Only the five tables touched by ``q_ds`` are generated, with exactly the
+columns the query references plus a primary key where TPC-DS defines one.
+The decisive feature reproduced from the real benchmark is the *non-key*
+join ``w_warehouse_sq_ft = ws_quantity``: both columns range over a small
+shared domain, so the join fans out heavily — this is what makes different
+decompositions of the (cyclic) query hypergraph differ so much in cost.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.db.database import Database
+from repro.db.query import ConjunctiveQuery
+from repro.db.sqlish import parse_select_query
+
+#: Query ``q_ds`` exactly as printed in Appendix D.2 (Listing 1).
+QDS_SQL = """
+SELECT MIN(ws_bill_customer_sk)
+FROM web_sales,
+     customer,
+     customer_address,
+     catalog_sales,
+     warehouse
+WHERE ws_bill_customer_sk = c_customer_sk
+      AND ca_address_sk = c_current_addr_sk
+      AND c_current_addr_sk = cs_bill_addr_sk
+      AND cs_warehouse_sk = w_warehouse_sk
+      AND w_warehouse_sq_ft = ws_quantity
+"""
+
+
+def build_tpcds_database(
+    scale: float = 1.0, seed: Optional[int] = 7, quantity_domain: int = 40
+) -> Database:
+    """Generate the synthetic TPC-DS-like database.
+
+    ``scale`` multiplies all table sizes; ``quantity_domain`` controls how
+    many distinct values the non-key join columns share (smaller = heavier
+    fan-out).  The defaults keep every decomposition-guided execution in the
+    sub-second range while leaving an order of magnitude between good and bad
+    decompositions.
+    """
+    rng = random.Random(seed)
+    database = Database()
+
+    num_customers = max(10, int(300 * scale))
+    num_addresses = max(5, int(120 * scale))
+    num_warehouses = max(3, int(40 * scale))
+    num_web_sales = max(20, int(900 * scale))
+    num_catalog_sales = max(20, int(900 * scale))
+
+    database.create_table(
+        "customer_address",
+        ["ca_address_sk"],
+        [(address,) for address in range(num_addresses)],
+        primary_key="ca_address_sk",
+    )
+    database.create_table(
+        "customer",
+        ["c_customer_sk", "c_current_addr_sk"],
+        [
+            (customer, rng.randrange(num_addresses))
+            for customer in range(num_customers)
+        ],
+        primary_key="c_customer_sk",
+    )
+    # Warehouses have skewed square footage: a handful of popular values
+    # dominate, so the non-key join against ws_quantity fans out strongly and
+    # the optimiser's independence-based estimate is far too low.
+    warehouse_rows = []
+    for warehouse in range(num_warehouses):
+        if rng.random() < 0.6:
+            square_feet = rng.randrange(1, 5)
+        else:
+            square_feet = rng.randrange(1, quantity_domain + 1)
+        warehouse_rows.append((warehouse, square_feet))
+    database.create_table(
+        "warehouse",
+        ["w_warehouse_sk", "w_warehouse_sq_ft"],
+        warehouse_rows,
+        primary_key="w_warehouse_sk",
+    )
+    # Web sales reference customers (foreign key) but have a skewed quantity
+    # column matching the warehouse skew.
+    web_sales_rows = []
+    for _ in range(num_web_sales):
+        customer = rng.randrange(num_customers)
+        if rng.random() < 0.6:
+            quantity = rng.randrange(1, 5)
+        else:
+            quantity = rng.randrange(1, quantity_domain + 1)
+        web_sales_rows.append((customer, quantity))
+    database.create_table(
+        "web_sales", ["ws_bill_customer_sk", "ws_quantity"], web_sales_rows
+    )
+    catalog_sales_rows = []
+    for _ in range(num_catalog_sales):
+        address = rng.randrange(num_addresses)
+        warehouse = rng.randrange(num_warehouses)
+        catalog_sales_rows.append((address, warehouse))
+    database.create_table(
+        "catalog_sales", ["cs_bill_addr_sk", "cs_warehouse_sk"], catalog_sales_rows
+    )
+    return database
+
+
+def tpcds_query_qds(database: Database) -> ConjunctiveQuery:
+    """The conjunctive query for ``q_ds`` resolved against the database schema."""
+    return parse_select_query(QDS_SQL, database, name="q_ds")

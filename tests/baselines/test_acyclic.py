@@ -1,0 +1,57 @@
+"""Unit tests for GYO reduction, α-acyclicity and join trees."""
+
+from repro.baselines.acyclic import gyo_reduction, is_alpha_acyclic, join_tree
+from repro.decompositions.width import is_complete_join_tree
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.generators import random_acyclic_hypergraph
+
+
+class TestGYO:
+    def test_acyclic_reduces_to_nothing(self):
+        hypergraph = Hypergraph({"R": ["a", "b"], "S": ["b", "c"], "T": ["c", "d"]})
+        assert gyo_reduction(hypergraph) == []
+        assert is_alpha_acyclic(hypergraph)
+
+    def test_triangle_is_cyclic(self, triangle):
+        assert not is_alpha_acyclic(triangle)
+        assert gyo_reduction(triangle)
+
+    def test_alpha_acyclic_with_big_edge(self):
+        # α-acyclicity is not hereditary: adding a covering edge makes the
+        # triangle acyclic.
+        hypergraph = Hypergraph(
+            {"R": ["x", "y"], "S": ["y", "z"], "T": ["z", "x"], "big": ["x", "y", "z"]}
+        )
+        assert is_alpha_acyclic(hypergraph)
+
+    def test_cycles_are_cyclic(self, four_cycle, c5):
+        assert not is_alpha_acyclic(four_cycle)
+        assert not is_alpha_acyclic(c5)
+
+    def test_random_acyclic_generator_agrees(self):
+        for seed in range(4):
+            assert is_alpha_acyclic(random_acyclic_hypergraph(7, seed=seed))
+
+
+class TestJoinTree:
+    def test_join_tree_of_path(self):
+        hypergraph = Hypergraph({"R": ["a", "b"], "S": ["b", "c"], "T": ["c", "d"]})
+        tree = join_tree(hypergraph)
+        assert tree is not None
+        assert tree.is_valid()
+        assert is_complete_join_tree(tree)
+
+    def test_join_tree_none_for_cyclic(self, triangle):
+        assert join_tree(triangle) is None
+
+    def test_join_tree_connectedness_for_star_schema(self):
+        hypergraph = Hypergraph(
+            {
+                "fact": ["k1", "k2", "k3"],
+                "dim1": ["k1", "a"],
+                "dim2": ["k2", "b"],
+                "dim3": ["k3", "c"],
+            }
+        )
+        tree = join_tree(hypergraph)
+        assert tree is not None and tree.is_valid()

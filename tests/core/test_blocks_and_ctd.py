@@ -1,0 +1,106 @@
+"""Unit tests for blocks, bases and Algorithm 1 (CandidateTD)."""
+
+from repro.core.blocks import Block, BlockIndex
+from repro.core.candidate_bags import soft_candidate_bags
+from repro.core.ctd import CandidateTDSolver, candidate_td
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+class TestBlocks:
+    def test_blocks_headed_by_candidate(self, four_cycle):
+        index = BlockIndex(four_cycle, [frozenset({"w", "x"})])
+        blocks = index.blocks_headed_by(frozenset({"w", "x"}))
+        components = {block.component for block in blocks if block.component}
+        assert components == {frozenset({"y", "z"})}
+        assert Block(frozenset({"w", "x"}), frozenset()) in blocks
+
+    def test_root_block_registered(self, triangle):
+        index = BlockIndex(triangle, [frozenset({"x", "y"})])
+        assert index.root_block.head == frozenset()
+        assert index.root_block.component == triangle.vertices
+
+    def test_block_order(self):
+        small = Block(frozenset({"a"}), frozenset({"b"}))
+        large = Block(frozenset(), frozenset({"a", "b", "c"}))
+        assert small.leq(large)
+        assert not large.leq(small)
+        assert small.leq(small)
+
+    def test_topological_order_respects_dependencies(self, four_cycle):
+        bags = soft_candidate_bags(four_cycle, 2)
+        index = BlockIndex(four_cycle, bags)
+        order = index.topological_order()
+        positions = {block: i for i, block in enumerate(order)}
+        for block in order:
+            for head in index.candidate_bags:
+                for sub in index.sub_blocks(head, block):
+                    if sub != block:
+                        assert positions[sub] <= positions[block]
+
+    def test_is_basis_rejects_head_itself(self, triangle):
+        bag = frozenset({"x", "y", "z"})
+        index = BlockIndex(triangle, [bag])
+        block = Block(bag, frozenset())
+        assert not index.is_basis(bag, block, {})
+
+
+class TestCandidateTDSolver:
+    def test_single_full_bag_always_works(self, triangle):
+        td = candidate_td(triangle, [frozenset(triangle.vertices)])
+        assert td is not None
+        assert td.is_valid()
+        assert td.tree.num_nodes() == 1
+
+    def test_insufficient_bags_rejected(self, triangle):
+        assert candidate_td(triangle, [frozenset({"x", "y"})]) is None
+
+    def test_path_decomposition_found(self):
+        hypergraph = Hypergraph(
+            {"e0": ["v0", "v1"], "e1": ["v1", "v2"], "e2": ["v2", "v3"]}
+        )
+        bags = [frozenset({"v0", "v1"}), frozenset({"v1", "v2"}), frozenset({"v2", "v3"})]
+        td = candidate_td(hypergraph, bags)
+        assert td is not None
+        assert td.is_valid()
+        assert td.uses_bags_from(bags)
+        assert td.is_component_normal_form()
+
+    def test_h2_soft_bags_admit_width2_ctd(self, h2):
+        bags = soft_candidate_bags(h2, 2)
+        td = candidate_td(h2, bags)
+        assert td is not None
+        assert td.is_valid()
+        assert td.uses_bags_from(bags)
+
+    def test_decide_matches_solve(self, h2):
+        bags = soft_candidate_bags(h2, 1)
+        solver = CandidateTDSolver(h2, bags)
+        assert solver.decide() == (solver.solve() is not None)
+
+    def test_disconnected_hypergraph_supported(self):
+        hypergraph = Hypergraph({"R": ["a", "b"], "S": ["c", "d"]})
+        td = candidate_td(
+            hypergraph, [frozenset({"a", "b"}), frozenset({"c", "d"})]
+        )
+        assert td is not None
+        assert td.is_valid()
+
+    def test_satisfied_blocks_accessible(self, triangle):
+        bags = soft_candidate_bags(triangle, 2)
+        solver = CandidateTDSolver(triangle, bags)
+        solver.solve()
+        satisfied = solver.satisfied_blocks()
+        assert solver.index.root_block in satisfied
+
+    def test_candidate_bags_not_in_decomposition_are_allowed(self, triangle):
+        # Extra useless candidate bags must not break the solver.
+        bags = set(soft_candidate_bags(triangle, 2))
+        bags.add(frozenset({"x"}))
+        td = candidate_td(triangle, bags)
+        assert td is not None and td.is_valid()
+
+    def test_resulting_ctd_is_compnf(self, four_cycle):
+        bags = soft_candidate_bags(four_cycle, 2)
+        td = candidate_td(four_cycle, bags)
+        assert td is not None
+        assert td.is_component_normal_form()

@@ -1,0 +1,95 @@
+"""Unit tests for the ranked CTD enumerator."""
+
+from repro.core.candidate_bags import soft_candidate_bags
+from repro.core.constraints import ConnectedCoverConstraint
+from repro.core.enumerate import CTDEnumerator, enumerate_ctds, fragment_to_decomposition
+from repro.core.preferences import MaxBagSizePreference, NodeCountPreference
+
+
+class TestEnumerateBasics:
+    def test_returns_valid_distinct_decompositions(self, h2):
+        bags = soft_candidate_bags(h2, 2)
+        decompositions = enumerate_ctds(h2, bags, limit=5)
+        assert decompositions
+        forms = set()
+        for decomposition in decompositions:
+            assert decomposition.is_valid()
+            assert decomposition.uses_bags_from(bags)
+            forms.add(decomposition.canonical_form())
+        assert len(forms) == len(decompositions)
+
+    def test_empty_when_no_ctd_exists(self, triangle):
+        bags = soft_candidate_bags(triangle, 1)
+        assert enumerate_ctds(triangle, bags, limit=5) == []
+
+    def test_limit_respected(self, h2):
+        bags = soft_candidate_bags(h2, 2)
+        assert len(enumerate_ctds(h2, bags, limit=3)) <= 3
+
+    def test_single_candidate_bag(self, triangle):
+        decompositions = enumerate_ctds(
+            triangle, [frozenset(triangle.vertices)], limit=5
+        )
+        assert len(decompositions) == 1
+        assert decompositions[0].tree.num_nodes() == 1
+
+
+class TestEnumerateRanking:
+    def test_preference_orders_results(self, h2):
+        bags = soft_candidate_bags(h2, 2)
+        preference = NodeCountPreference()
+        decompositions = enumerate_ctds(h2, bags, preference=preference, limit=10)
+        keys = [preference.key(d) for d in decompositions]
+        assert keys == sorted(keys)
+
+    def test_max_bag_size_ranking(self, c5):
+        bags = soft_candidate_bags(c5, 2)
+        preference = MaxBagSizePreference()
+        decompositions = enumerate_ctds(c5, bags, preference=preference, limit=10)
+        assert decompositions
+        keys = [preference.key(d) for d in decompositions]
+        assert keys == sorted(keys)
+
+
+class TestEnumerateWithConstraints:
+    def test_concov_constraint_respected(self, four_cycle):
+        bags = soft_candidate_bags(four_cycle, 2)
+        constraint = ConnectedCoverConstraint(four_cycle, 2)
+        decompositions = enumerate_ctds(four_cycle, bags, constraint=constraint, limit=5)
+        # Example 3: Cartesian-product bags must never appear; the connected
+        # width-2 decompositions (like D2) remain.
+        assert decompositions
+        for decomposition in decompositions:
+            assert constraint.holds_recursively(decomposition)
+            assert frozenset({"w", "x", "y", "z"}) not in decomposition.bags()
+
+    def test_concov_width_2_impossible_for_c5(self, c5):
+        bags = soft_candidate_bags(c5, 2)
+        constraint = ConnectedCoverConstraint(c5, 2)
+        assert enumerate_ctds(c5, bags, constraint=constraint, limit=5) == []
+
+    def test_concov_allows_wider_bags(self, c5):
+        bags = soft_candidate_bags(c5, 3)
+        constraint = ConnectedCoverConstraint(c5, 3)
+        decompositions = enumerate_ctds(c5, bags, constraint=constraint, limit=5)
+        assert decompositions
+        for decomposition in decompositions:
+            assert constraint.holds_recursively(decomposition)
+
+
+class TestFragments:
+    def test_fragment_to_decomposition_roundtrip(self, triangle):
+        fragment = (frozenset({"x", "y", "z"}), ())
+        decomposition = fragment_to_decomposition(triangle, fragment)
+        assert decomposition.tree.num_nodes() == 1
+        with_head = fragment_to_decomposition(
+            triangle, fragment, head=frozenset({"x"})
+        )
+        assert with_head.tree.num_nodes() == 2
+        assert with_head.bag(with_head.tree.root) == frozenset({"x"})
+
+    def test_enumerator_beam_limits_options(self, h2):
+        bags = soft_candidate_bags(h2, 2)
+        enumerator = CTDEnumerator(h2, bags, beam=2)
+        decompositions = enumerator.enumerate(limit=2)
+        assert 0 < len(decompositions) <= 2

@@ -1,0 +1,68 @@
+"""Unit tests for the Robber & Marshals and Institutional R&M games (Appendix A.1)."""
+
+import pytest
+
+from repro.baselines.detkdecomp import hypertree_width
+from repro.core.games import (
+    irmg_have_winning_strategy,
+    irmg_width,
+    marshals_have_winning_strategy,
+    marshals_width,
+)
+from repro.core.soft import soft_hypertree_width
+from repro.hypergraph.library import cycle_hypergraph
+
+
+class TestMarshalsGame:
+    def test_single_edge_needs_one_marshal(self):
+        from repro.hypergraph.hypergraph import Hypergraph
+
+        hypergraph = Hypergraph({"R": ["x", "y", "z"]})
+        assert marshals_have_winning_strategy(hypergraph, 1)
+        assert marshals_width(hypergraph) == 1
+
+    def test_triangle_needs_two_marshals(self, triangle):
+        assert not marshals_have_winning_strategy(triangle, 1)
+        assert marshals_have_winning_strategy(triangle, 2)
+        assert marshals_width(triangle) == 2
+
+    def test_monotone_width_at_least_plain_width(self, triangle, four_cycle):
+        for hypergraph in (triangle, four_cycle):
+            assert marshals_width(hypergraph, monotone=True) >= marshals_width(hypergraph)
+
+    def test_monotone_marshal_width_equals_hw_on_small_examples(self, triangle, four_cycle):
+        # Gottlob, Leone, Scarcello: mon-mw(H) = hw(H).
+        for hypergraph in (triangle, four_cycle, cycle_hypergraph(5)):
+            assert marshals_width(hypergraph, monotone=True) == hypertree_width(hypergraph)
+
+    def test_unreachable_width_raises(self, triangle):
+        with pytest.raises(ValueError):
+            marshals_width(triangle, max_k=0)
+
+
+class TestInstitutionalGame:
+    def test_irmg_is_at_most_marshal_width(self, triangle, four_cycle):
+        for hypergraph in (triangle, four_cycle):
+            assert irmg_width(hypergraph) <= marshals_width(hypergraph)
+
+    def test_monotone_irmw_bounded_by_shw(self, triangle, four_cycle):
+        # Theorem 12: mon-irmw(H) <= shw(H).
+        for hypergraph in (triangle, four_cycle, cycle_hypergraph(5)):
+            shw, _ = soft_hypertree_width(hypergraph)
+            assert irmg_width(hypergraph, monotone=True) <= shw
+
+    def test_irmg_on_triangle(self, triangle):
+        assert not irmg_have_winning_strategy(triangle, 1)
+        assert irmg_have_winning_strategy(triangle, 2)
+
+
+@pytest.mark.slow
+class TestH2Games:
+    def test_h2_monotone_irmg_two_marshals_win(self, h2):
+        # Appendix A.1 (Figure 7): two marshals have a monotone winning
+        # strategy in the IRMG on H2, matching shw(H2) = 2.
+        assert irmg_have_winning_strategy(h2, 2, monotone=True)
+
+    def test_h2_monotone_plain_game_needs_three(self, h2):
+        assert not marshals_have_winning_strategy(h2, 2, monotone=True)
+        assert marshals_have_winning_strategy(h2, 3, monotone=True)

@@ -1,0 +1,80 @@
+"""Unit tests for preference orders (toptds)."""
+
+from repro.core.preferences import (
+    CostPreference,
+    LexicographicPreference,
+    MaxBagSizePreference,
+    NodeCountPreference,
+    NoPreference,
+    ShallowCyclicityPreference,
+)
+from repro.decompositions.td import TreeDecomposition
+
+
+def two_decompositions(four_cycle):
+    small = TreeDecomposition.from_bags(
+        four_cycle, [{"w", "x", "y", "z"}], [None]
+    )
+    chain = TreeDecomposition.from_bags(
+        four_cycle, [{"w", "x", "y"}, {"w", "y", "z"}], [None, 0]
+    )
+    return small, chain
+
+
+class TestBasicPreferences:
+    def test_no_preference_never_strictly_better(self, four_cycle):
+        a, b = two_decompositions(four_cycle)
+        preference = NoPreference()
+        assert not preference.is_strictly_better(a, b)
+        assert not preference.is_strictly_better(b, a)
+
+    def test_node_count_preference(self, four_cycle):
+        single, chain = two_decompositions(four_cycle)
+        preference = NodeCountPreference()
+        assert preference.is_strictly_better(single, chain)
+
+    def test_max_bag_size_preference(self, four_cycle):
+        single, chain = two_decompositions(four_cycle)
+        preference = MaxBagSizePreference()
+        assert preference.is_strictly_better(chain, single)
+
+    def test_cost_preference_uses_callable(self, four_cycle):
+        single, chain = two_decompositions(four_cycle)
+        preference = CostPreference(lambda td: td.tree.num_nodes() * 10)
+        assert preference.key(single) == 10
+        assert preference.is_strictly_better(single, chain)
+
+
+class TestShallowCyclicityPreference:
+    def test_orders_by_cyclicity_depth(self, four_cycle):
+        shallow = TreeDecomposition.from_bags(
+            four_cycle, [{"w", "x", "y", "z"}, {"x", "y"}], [None, 0]
+        )
+        deep = TreeDecomposition.from_bags(
+            four_cycle, [{"x", "y"}, {"w", "x", "y", "z"}], [None, 0]
+        )
+        preference = ShallowCyclicityPreference(four_cycle)
+        assert preference.key(shallow) == 0
+        assert preference.key(deep) == 1
+        assert preference.is_strictly_better(shallow, deep)
+
+
+class TestLexicographicPreference:
+    def test_first_component_dominates(self, four_cycle):
+        single, chain = two_decompositions(four_cycle)
+        preference = LexicographicPreference(
+            [MaxBagSizePreference(), NodeCountPreference()]
+        )
+        assert preference.is_strictly_better(chain, single)
+
+    def test_tie_broken_by_second_component(self, four_cycle):
+        a = TreeDecomposition.from_bags(
+            four_cycle, [{"w", "x", "y"}, {"w", "y", "z"}], [None, 0]
+        )
+        b = TreeDecomposition.from_bags(
+            four_cycle, [{"w", "x", "y"}, {"w", "y", "z"}, {"w", "y"}], [None, 0, 1]
+        )
+        preference = LexicographicPreference(
+            [MaxBagSizePreference(), NodeCountPreference()]
+        )
+        assert preference.is_strictly_better(a, b)

@@ -1,0 +1,78 @@
+"""Unit tests for the database catalogue and conjunctive queries."""
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.query import Atom, ConjunctiveQuery, atom
+
+
+class TestDatabase:
+    def test_create_and_lookup(self):
+        database = Database()
+        database.create_table("R", ["a", "b"], [(1, 2)], primary_key="a")
+        assert "R" in database
+        assert database.relation("R").cardinality() == 1
+        assert database.primary_key("R") == "a"
+        assert database.primary_key("missing") is None
+        assert database.relation_names() == ["R"]
+        assert database.total_rows() == 1
+
+    def test_duplicate_relation_rejected(self):
+        database = Database()
+        database.create_table("R", ["a"], [])
+        with pytest.raises(ValueError):
+            database.create_table("R", ["a"], [])
+
+    def test_bad_primary_key_rejected(self):
+        database = Database()
+        with pytest.raises(ValueError):
+            database.create_table("R", ["a"], [], primary_key="nope")
+
+    def test_missing_relation_raises(self):
+        with pytest.raises(KeyError):
+            Database().relation("ghost")
+
+
+class TestAtoms:
+    def test_atom_bindings(self):
+        a = atom("R0", "R", {"a": "x", "b": "y"})
+        assert a.variable_of("a") == "x"
+        assert a.attribute_of("y") == "b"
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Atom("R0", "R", ("a", "b"), ("x",))
+
+
+class TestConjunctiveQuery:
+    def test_unique_aliases_required(self):
+        a = atom("R0", "R", {"a": "x"})
+        with pytest.raises(ValueError):
+            ConjunctiveQuery(atoms=[a, a])
+
+    def test_variables_in_order_of_first_occurrence(self, triangle_query):
+        assert triangle_query.variables() == ["x", "y", "z"]
+
+    def test_hypergraph_extraction(self, triangle_query):
+        hypergraph = triangle_query.hypergraph()
+        assert hypergraph.num_edges() == 3
+        assert hypergraph.edge("R").vertices == frozenset({"x", "y"})
+        assert hypergraph.vertices == frozenset({"x", "y", "z"})
+
+    def test_atom_lookup(self, triangle_query):
+        assert triangle_query.atom("S").relation == "S"
+        with pytest.raises(KeyError):
+            triangle_query.atom("missing")
+
+    def test_partition_labels(self, triangle_query):
+        labels = triangle_query.partition_labels({"R": "p1", "S": "p2", "T": "p1"})
+        assert labels == {"R": "p1", "S": "p2", "T": "p1"}
+
+    def test_self_join_hypergraph_has_one_edge_per_alias(self):
+        query = ConjunctiveQuery(
+            atoms=[
+                atom("E0", "E", {"s": "x", "d": "y"}),
+                atom("E1", "E", {"s": "y", "d": "z"}),
+            ]
+        )
+        assert query.hypergraph().num_edges() == 2

@@ -1,0 +1,105 @@
+"""Unit tests for the SQL-ish parser."""
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.sqlish import parse_select_query
+
+
+@pytest.fixture
+def schema():
+    database = Database()
+    database.create_table("R", ["a", "b"], [(1, 2)])
+    database.create_table("S", ["b", "c"], [(2, 3)])
+    database.create_table("T", ["c", "a"], [(3, 1)])
+    database.create_table("E", ["s", "d"], [(1, 2)])
+    return database
+
+
+class TestBasicParsing:
+    def test_comma_join_with_unqualified_aggregate_column(self, schema):
+        query = parse_select_query(
+            "SELECT MIN(a) FROM R, S WHERE R.b = S.b", schema
+        )
+        assert len(query.atoms) == 2
+        assert query.aggregate[0] == "MIN"
+        # R.b and S.b are merged into one variable; "a" resolves to R.a.
+        r_atom = query.atom("R")
+        s_atom = query.atom("S")
+        assert r_atom.variable_of("b") == s_atom.variable_of("b")
+        assert query.aggregate[1] == r_atom.variable_of("a")
+
+    def test_qualified_columns_and_aliases(self, schema):
+        query = parse_select_query(
+            "SELECT MAX(e1.d) FROM E AS e1, E AS e2 WHERE e1.d = e2.s", schema
+        )
+        assert {atom.alias for atom in query.atoms} == {"e1", "e2"}
+        assert query.atom("e1").relation == "E"
+        assert query.atom("e1").variable_of("d") == query.atom("e2").variable_of("s")
+
+    def test_join_on_syntax(self, schema):
+        query = parse_select_query(
+            "SELECT MIN(R.a) FROM R JOIN S ON R.b = S.b JOIN T ON S.c = T.c", schema
+        )
+        assert len(query.atoms) == 3
+        hypergraph = query.hypergraph()
+        assert hypergraph.num_edges() == 3
+
+    def test_aggregate_variable_joins_equivalence_class(self, schema):
+        query = parse_select_query(
+            "SELECT MIN(R.a) FROM R, T WHERE R.a = T.a", schema
+        )
+        _, variable = query.aggregate
+        assert query.atom("R").variable_of("a") == variable
+        assert query.atom("T").variable_of("a") == variable
+
+
+class TestErrors:
+    def test_non_aggregate_query_rejected(self, schema):
+        with pytest.raises(ValueError):
+            parse_select_query("SELECT a FROM R", schema)
+
+    def test_unknown_column_rejected(self, schema):
+        with pytest.raises(ValueError):
+            parse_select_query("SELECT MIN(zzz) FROM R", schema)
+
+    def test_ambiguous_column_rejected(self, schema):
+        # "b" exists in both R and S.
+        with pytest.raises(ValueError):
+            parse_select_query("SELECT MIN(a) FROM R, S WHERE b = c AND a = b", schema)
+
+    def test_duplicate_alias_rejected(self, schema):
+        with pytest.raises(ValueError):
+            parse_select_query("SELECT MIN(a) FROM R AS x, S AS x WHERE x.b = x.b", schema)
+
+
+class TestPaperQueries:
+    def test_tpcds_query_parses(self):
+        from repro.workloads.tpcds import QDS_SQL, build_tpcds_database
+
+        database = build_tpcds_database(scale=0.05)
+        query = parse_select_query(QDS_SQL, database, name="q_ds")
+        assert len(query.atoms) == 5
+        hypergraph = query.hypergraph()
+        assert hypergraph.num_edges() == 5
+        assert hypergraph.num_vertices() == 4
+
+    def test_hetionet_queries_parse(self):
+        from repro.workloads.hetionet import HETIONET_QUERY_SQL, build_hetionet_database, hetionet_query
+
+        database = build_hetionet_database(scale=0.1)
+        expected_atoms = {"q_hto": 7, "q_hto2": 7, "q_hto3": 4, "q_hto4": 6}
+        for name, count in expected_atoms.items():
+            query = hetionet_query(database, name)
+            assert len(query.atoms) == count
+        with pytest.raises(KeyError):
+            hetionet_query(database, "q_unknown")
+
+    def test_lsqb_query_parses(self):
+        from repro.workloads.lsqb import QLB_SQL, build_lsqb_database
+
+        database = build_lsqb_database(scale=0.1)
+        query = parse_select_query(QLB_SQL, database, name="q_lb")
+        assert len(query.atoms) == 6
+        # Table 1 reports |H| = 6 for q_lb.
+        assert query.hypergraph().num_edges() == 6

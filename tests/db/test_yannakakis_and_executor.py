@@ -1,0 +1,116 @@
+"""Unit and integration tests for Yannakakis execution and the executors."""
+
+import pytest
+
+from repro.core.candidate_bags import soft_candidate_bags
+from repro.core.enumerate import enumerate_ctds
+from repro.decompositions.td import TreeDecomposition
+from repro.db.executor import BaselineExecutor, DecompositionExecutor
+from repro.db.yannakakis import YannakakisExecutor, atom_relation, choose_cover, run_yannakakis
+from tests.conftest import brute_force_triangle_count
+
+
+@pytest.fixture
+def triangle_td(triangle_query):
+    hypergraph = triangle_query.hypergraph()
+    return TreeDecomposition.from_bags(
+        hypergraph, [{"x", "y", "z"}], [None]
+    )
+
+
+class TestAtomRelations:
+    def test_atom_relation_renames_to_variables(self, triangle_database, triangle_query):
+        relation = atom_relation(triangle_database, triangle_query.atom("R"))
+        assert set(relation.attributes) == {"x", "y"}
+        assert len(relation) == len(triangle_database.relation("R"))
+
+    def test_choose_cover_prefers_connected(self, four_cycle):
+        cover = choose_cover(four_cycle, frozenset({"w", "x", "y"}), max_size=2)
+        assert len(cover) == 2
+        edges = [four_cycle.edge(name) for name in cover]
+        assert edges[0].vertices & edges[1].vertices
+
+    def test_choose_cover_empty_bag(self, four_cycle):
+        assert choose_cover(four_cycle, frozenset()) == []
+
+    def test_choose_cover_uncoverable_raises(self, four_cycle):
+        with pytest.raises(ValueError):
+            choose_cover(four_cycle, frozenset({"nope"}), max_size=1)
+
+
+class TestYannakakis:
+    def test_triangle_count_matches_brute_force(
+        self, triangle_database, triangle_query, triangle_td
+    ):
+        run = run_yannakakis(triangle_database, triangle_query, triangle_td)
+        assert run.result == brute_force_triangle_count(triangle_database)
+
+    def test_min_aggregate_from_reduced_nodes(self, triangle_database, triangle_query):
+        query = triangle_query
+        query.aggregate = ("MIN", "x")
+        hypergraph = query.hypergraph()
+        decomposition = TreeDecomposition.from_bags(
+            hypergraph, [{"x", "y", "z"}], [None]
+        )
+        run = run_yannakakis(triangle_database, query, decomposition)
+        # Brute force: the minimal x participating in a triangle.
+        expected = min(
+            x
+            for (x, y) in triangle_database.relation("R").rows
+            for (y2, z) in triangle_database.relation("S").rows
+            if y2 == y
+            for (z2, x2) in triangle_database.relation("T").rows
+            if z2 == z and x2 == x
+        )
+        assert run.result == expected
+        materialized = YannakakisExecutor(triangle_database, query).execute(
+            decomposition, materialize_result=True
+        )
+        assert materialized.result == expected
+
+    def test_decomposition_must_cover_every_atom(self, triangle_database, triangle_query):
+        hypergraph = triangle_query.hypergraph()
+        bad = TreeDecomposition.from_bags(hypergraph, [{"x", "y"}], [None])
+        with pytest.raises(ValueError):
+            run_yannakakis(triangle_database, triangle_query, bad)
+
+    def test_node_sizes_recorded(self, triangle_database, triangle_query, triangle_td):
+        run = run_yannakakis(triangle_database, triangle_query, triangle_td)
+        assert set(run.node_sizes) == {triangle_td.tree.root.node_id}
+        assert run.max_intermediate >= max(run.node_sizes.values())
+        assert run.work > 0
+
+
+class TestExecutorsAgree:
+    def test_executors_agree_on_triangle(self, triangle_database, triangle_query):
+        hypergraph = triangle_query.hypergraph()
+        decomposition = TreeDecomposition.from_bags(
+            hypergraph, [{"x", "y", "z"}], [None]
+        )
+        decomposition_result = DecompositionExecutor(
+            triangle_database, triangle_query
+        ).execute(decomposition)
+        baseline_result = BaselineExecutor(triangle_database, triangle_query).execute()
+        assert decomposition_result.result == baseline_result.result
+
+    def test_all_ctds_give_same_answer_on_tpcds(self):
+        from repro.workloads.tpcds import build_tpcds_database, tpcds_query_qds
+
+        database = build_tpcds_database(scale=0.1)
+        query = tpcds_query_qds(database)
+        hypergraph = query.hypergraph()
+        decompositions = enumerate_ctds(
+            hypergraph, soft_candidate_bags(hypergraph, 2), limit=4
+        )
+        assert decompositions
+        executor = DecompositionExecutor(database, query)
+        results = {executor.execute(d).result for d in decompositions}
+        baseline = BaselineExecutor(database, query).execute()
+        assert results == {baseline.result}
+
+    def test_metrics_fields(self, triangle_database, triangle_query):
+        baseline = BaselineExecutor(triangle_database, triangle_query).execute()
+        assert baseline.work > 0
+        assert baseline.max_intermediate >= 0
+        assert baseline.wall_time >= 0.0
+        assert "work" in repr(baseline)

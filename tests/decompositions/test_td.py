@@ -1,0 +1,96 @@
+"""Unit tests for tree decompositions."""
+
+from repro.decompositions.td import TreeDecomposition
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+def path_hypergraph(length):
+    return Hypergraph({f"e{i}": [f"v{i}", f"v{i + 1}"] for i in range(length)})
+
+
+class TestConstruction:
+    def test_from_bags(self, triangle):
+        td = TreeDecomposition.from_bags(triangle, [{"x", "y", "z"}], [None])
+        assert td.width() == 2
+        assert td.is_valid()
+
+    def test_single_bag_decomposition_is_always_valid(self, h2):
+        td = TreeDecomposition.single_bag(h2)
+        assert td.is_valid()
+        assert td.width() == h2.num_vertices() - 1
+
+
+class TestValidity:
+    def test_path_decomposition_is_valid(self):
+        hypergraph = path_hypergraph(3)
+        bags = [{"v0", "v1"}, {"v1", "v2"}, {"v2", "v3"}]
+        td = TreeDecomposition.from_bags(hypergraph, bags, [None, 0, 1])
+        assert td.covers_all_edges()
+        assert td.satisfies_connectedness()
+        assert td.is_valid()
+        assert td.width() == 1
+
+    def test_missing_edge_coverage_detected(self, triangle):
+        td = TreeDecomposition.from_bags(
+            triangle, [{"x", "y"}, {"y", "z"}], [None, 0]
+        )
+        assert not td.covers_all_edges()
+        assert not td.is_valid()
+
+    def test_connectedness_violation_detected(self):
+        hypergraph = path_hypergraph(3)
+        # v1 appears in two bags that are not adjacent.
+        bags = [{"v0", "v1"}, {"v2", "v3"}, {"v1", "v2"}]
+        td = TreeDecomposition.from_bags(hypergraph, bags, [None, 0, 1])
+        assert not td.satisfies_connectedness()
+
+    def test_vertex_missing_from_all_bags_detected(self):
+        hypergraph = path_hypergraph(2)
+        td = TreeDecomposition.from_bags(hypergraph, [{"v0", "v1"}], [None])
+        assert not td.satisfies_connectedness()
+
+
+class TestStructure:
+    def test_subtree_vertices(self):
+        hypergraph = path_hypergraph(3)
+        bags = [{"v0", "v1"}, {"v1", "v2"}, {"v2", "v3"}]
+        td = TreeDecomposition.from_bags(hypergraph, bags, [None, 0, 1])
+        child = td.tree.root.children[0]
+        assert td.subtree_vertices(child) == frozenset({"v1", "v2", "v3"})
+
+    def test_component_normal_form_holds_for_path(self):
+        hypergraph = path_hypergraph(3)
+        bags = [{"v0", "v1"}, {"v1", "v2"}, {"v2", "v3"}]
+        td = TreeDecomposition.from_bags(hypergraph, bags, [None, 0, 1])
+        assert td.is_component_normal_form()
+
+    def test_component_normal_form_violation(self):
+        # The child's subtree covers two different components of the root bag.
+        hypergraph = Hypergraph(
+            {"left": ["c", "l"], "right": ["c", "r"], "mid": ["c"]}
+        )
+        td = TreeDecomposition.from_bags(
+            hypergraph, [{"c"}, {"c", "l", "r"}], [None, 0]
+        )
+        assert td.is_valid()
+        assert not td.is_component_normal_form()
+
+    def test_uses_bags_from(self, triangle):
+        td = TreeDecomposition.from_bags(triangle, [{"x", "y", "z"}], [None])
+        assert td.uses_bags_from([frozenset({"x", "y", "z"})])
+        assert not td.uses_bags_from([frozenset({"x", "y"})])
+
+    def test_canonical_form_ignores_child_order(self, triangle):
+        a = TreeDecomposition.from_bags(
+            triangle, [{"x", "y", "z"}, {"x", "y"}, {"y", "z"}], [None, 0, 0]
+        )
+        b = TreeDecomposition.from_bags(
+            triangle, [{"x", "y", "z"}, {"y", "z"}, {"x", "y"}], [None, 0, 0]
+        )
+        assert a.canonical_form() == b.canonical_form()
+
+    def test_bag_multiset_sorted(self, triangle):
+        td = TreeDecomposition.from_bags(
+            triangle, [{"x", "y", "z"}, {"x", "y"}], [None, 0]
+        )
+        assert len(td.bag_multiset()) == 2

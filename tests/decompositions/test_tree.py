@@ -1,0 +1,85 @@
+"""Unit tests for the rooted tree skeleton."""
+
+import pytest
+
+from repro.decompositions.tree import RootedTree
+
+
+def build_sample_tree():
+    tree = RootedTree()
+    root = tree.new_node(None, label="root")
+    a = tree.new_node(root, label="a")
+    b = tree.new_node(root, label="b")
+    c = tree.new_node(a, label="c")
+    return tree, root, a, b, c
+
+
+class TestConstruction:
+    def test_single_root(self):
+        tree = RootedTree()
+        root = tree.new_node(None)
+        assert tree.root is root
+        with pytest.raises(ValueError):
+            tree.new_node(None)
+
+    def test_root_required_for_access(self):
+        tree = RootedTree()
+        with pytest.raises(ValueError):
+            _ = tree.root
+
+    def test_children_and_parents(self):
+        tree, root, a, b, c = build_sample_tree()
+        assert c.parent is a
+        assert a.parent is root
+        assert root.children == [a, b]
+        assert b.is_leaf() and c.is_leaf() and not a.is_leaf()
+
+
+class TestTraversal:
+    def test_preorder_starts_at_root(self):
+        tree, root, a, b, c = build_sample_tree()
+        labels = [node.data["label"] for node in tree.preorder()]
+        assert labels[0] == "root"
+        assert set(labels) == {"root", "a", "b", "c"}
+
+    def test_postorder_ends_at_root(self):
+        tree, root, a, b, c = build_sample_tree()
+        order = list(tree.postorder())
+        assert order[-1] is root
+        assert order.index(c) < order.index(a)
+
+    def test_subtree_nodes(self):
+        tree, root, a, b, c = build_sample_tree()
+        assert set(tree.subtree_nodes(a)) == {a, c}
+
+
+class TestMetrics:
+    def test_depth_and_height(self):
+        tree, root, a, b, c = build_sample_tree()
+        assert tree.depth(root) == 0
+        assert tree.depth(c) == 2
+        assert tree.height() == 2
+
+    def test_num_nodes(self):
+        tree, *_ = build_sample_tree()
+        assert tree.num_nodes() == 4
+
+    def test_path_between_nodes(self):
+        tree, root, a, b, c = build_sample_tree()
+        path = tree.path(c, b)
+        assert [n.data["label"] for n in path] == ["c", "a", "root", "b"]
+        assert tree.path(root, c)[0] is root
+
+
+class TestCopying:
+    def test_copy_is_structurally_equal_but_independent(self):
+        tree, root, a, b, c = build_sample_tree()
+        duplicate = tree.copy()
+        assert duplicate.num_nodes() == tree.num_nodes()
+        duplicate.root.data["label"] = "changed"
+        assert tree.root.data["label"] == "root"
+
+    def test_map_tree_transforms_payloads(self):
+        tree, *_ = build_sample_tree()
+        upper = tree.map_tree(lambda node: {"label": node.data["label"].upper()})
+        assert upper.root.data["label"] == "ROOT"

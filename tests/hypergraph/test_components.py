@@ -1,0 +1,106 @@
+"""Unit tests for [S]-components and connectivity."""
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.components import (
+    component_vertices,
+    connected_components,
+    edge_components,
+    is_connected,
+    is_minimal_separator,
+    lambda_components,
+    separates,
+    vertex_components,
+)
+
+
+def path_hypergraph(length):
+    return Hypergraph({f"e{i}": [f"v{i}", f"v{i + 1}"] for i in range(length)})
+
+
+class TestVertexComponents:
+    def test_empty_separator_gives_connected_components(self):
+        hypergraph = Hypergraph({"R": ["a", "b"], "S": ["c", "d"]})
+        components = vertex_components(hypergraph)
+        assert sorted(sorted(c) for c in components) == [["a", "b"], ["c", "d"]]
+
+    def test_separator_vertices_never_appear(self, triangle):
+        components = vertex_components(triangle, {"y"})
+        assert all("y" not in component for component in components)
+
+    def test_path_split_by_middle_vertex(self):
+        hypergraph = path_hypergraph(4)
+        components = vertex_components(hypergraph, {"v2"})
+        assert sorted(sorted(c) for c in components) == [["v0", "v1"], ["v3", "v4"]]
+
+    def test_full_separator_gives_no_components(self, triangle):
+        assert vertex_components(triangle, {"x", "y", "z"}) == []
+
+    def test_deterministic_order(self, h2):
+        first = vertex_components(h2, {"a", "b"})
+        second = vertex_components(h2, {"a", "b"})
+        assert first == second
+
+
+class TestEdgeComponents:
+    def test_edges_inside_separator_belong_to_no_component(self, triangle):
+        components = edge_components(triangle, {"x", "y"})
+        names = {edge.name for component in components for edge in component}
+        assert "R" not in names
+
+    def test_h2_component_structure(self, h2):
+        # Separating with {3, 4} (the e34 edge) leaves one big component.
+        components = edge_components(h2, h2.edge("e34").vertices)
+        assert len(components) == 1
+        assert component_vertices(components[0]) >= {"1", "2", "5", "6", "7", "8", "a", "b"}
+
+    def test_lambda_components_use_union(self, h2):
+        lam = [h2.edge("e23b"), h2.edge("e67a")]
+        components = lambda_components(h2, lam)
+        union = h2.vertices_of(lam)
+        for component in components:
+            for edge in component:
+                assert edge.vertices - union
+
+    def test_edge_in_exactly_one_component(self, h2):
+        components = edge_components(h2, {"a", "b"})
+        seen = []
+        for component in components:
+            for edge in component:
+                assert edge.name not in seen
+                seen.append(edge.name)
+
+
+class TestConnectivity:
+    def test_is_connected(self, h2, triangle):
+        assert is_connected(h2)
+        assert is_connected(triangle)
+        assert not is_connected(Hypergraph({"R": ["a", "b"], "S": ["c", "d"]}))
+
+    def test_connected_components_partition_vertices(self, h2):
+        components = connected_components(h2)
+        union = set()
+        for component in components:
+            union.update(component)
+        assert union == set(h2.vertices)
+
+    def test_separates(self):
+        hypergraph = path_hypergraph(4)
+        assert separates(hypergraph, {"v2"}, "v0", "v4")
+        assert not separates(hypergraph, {"v4"}, "v0", "v2")
+        assert separates(hypergraph, {"v0"}, "v0", "v2")
+
+
+class TestMinimalSeparators:
+    def test_path_middle_vertex_is_minimal_separator(self):
+        hypergraph = path_hypergraph(4)
+        assert is_minimal_separator(hypergraph, {"v2"})
+
+    def test_empty_set_is_not_a_minimal_separator(self, triangle):
+        assert not is_minimal_separator(triangle, set())
+
+    def test_non_separating_set_is_not_minimal(self, triangle):
+        assert not is_minimal_separator(triangle, {"x"})
+
+    def test_cycle_needs_two_vertices(self, four_cycle):
+        assert not is_minimal_separator(four_cycle, {"x"})
+        assert is_minimal_separator(four_cycle, {"x", "z"})

@@ -1,0 +1,32 @@
+"""Unit tests for the Gaifman graph utilities."""
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.gaifman import gaifman_graph, is_clique, neighbours
+
+
+class TestGaifmanGraph:
+    def test_edges_become_cliques(self):
+        hypergraph = Hypergraph({"R": ["x", "y", "z"]})
+        adjacency = gaifman_graph(hypergraph)
+        assert adjacency["x"] == frozenset({"y", "z"})
+        assert adjacency["y"] == frozenset({"x", "z"})
+
+    def test_no_self_loops(self, triangle):
+        adjacency = gaifman_graph(triangle)
+        for vertex, neighbourhood in adjacency.items():
+            assert vertex not in neighbourhood
+
+    def test_neighbours_matches_adjacency(self, h2):
+        adjacency = gaifman_graph(h2)
+        for vertex in h2.vertices:
+            assert neighbours(h2, vertex) == adjacency[vertex]
+
+    def test_is_clique(self, triangle):
+        assert is_clique(triangle, {"x", "y"})
+        assert is_clique(triangle, {"x", "y", "z"})
+        assert is_clique(triangle, set())
+        assert is_clique(triangle, {"x"})
+
+    def test_four_cycle_diagonal_is_not_a_clique(self, four_cycle):
+        assert not is_clique(four_cycle, {"w", "y"})
+        assert not is_clique(four_cycle, {"x", "z"})

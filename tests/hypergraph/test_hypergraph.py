@@ -1,0 +1,97 @@
+"""Unit tests for the Hypergraph data structure."""
+
+import pytest
+
+from repro.hypergraph.hypergraph import Edge, Hypergraph
+
+
+class TestEdge:
+    def test_edge_is_a_named_vertex_set(self):
+        edge = Edge("R", ["x", "y", "x"])
+        assert edge.name == "R"
+        assert edge.vertices == frozenset({"x", "y"})
+        assert len(edge) == 2
+        assert "x" in edge and "z" not in edge
+
+    def test_edges_compare_by_name_and_vertices(self):
+        assert Edge("R", ["x", "y"]) == Edge("R", ["y", "x"])
+        assert Edge("R", ["x", "y"]) != Edge("S", ["x", "y"])
+        assert Edge("R", ["x", "y"]) != Edge("R", ["x"])
+
+    def test_edge_is_hashable(self):
+        assert len({Edge("R", ["x"]), Edge("R", ["x"])}) == 1
+
+
+class TestHypergraphConstruction:
+    def test_from_mapping(self):
+        hypergraph = Hypergraph({"R": ["x", "y"], "S": ["y", "z"]})
+        assert hypergraph.num_edges() == 2
+        assert hypergraph.vertices == frozenset({"x", "y", "z"})
+
+    def test_from_edge_objects(self):
+        hypergraph = Hypergraph([Edge("R", ["x", "y"]), Edge("S", ["y"])])
+        assert hypergraph.edge("S").vertices == frozenset({"y"})
+
+    def test_from_edge_sets(self):
+        hypergraph = Hypergraph.from_edge_sets([["x", "y"], ["y", "z"]])
+        assert set(hypergraph.edge_names) == {"e0", "e1"}
+
+    def test_duplicate_edge_names_rejected(self):
+        with pytest.raises(ValueError):
+            Hypergraph([("R", ["x"]), ("R", ["y"])])
+
+    def test_extra_vertices_can_be_isolated(self):
+        hypergraph = Hypergraph({"R": ["x"]}, vertices=["lonely"])
+        assert hypergraph.has_isolated_vertices()
+        assert "lonely" in hypergraph.vertices
+
+    def test_no_isolated_vertices_by_default(self, h2):
+        assert not h2.has_isolated_vertices()
+
+
+class TestHypergraphAccessors:
+    def test_incident_edges(self):
+        hypergraph = Hypergraph({"R": ["x", "y"], "S": ["y", "z"], "T": ["z", "x"]})
+        names = {edge.name for edge in hypergraph.incident_edges("y")}
+        assert names == {"R", "S"}
+
+    def test_size_counts_vertex_occurrences(self, triangle):
+        assert triangle.size() == 6
+
+    def test_vertices_of_union(self, triangle):
+        edges = [triangle.edge("R"), triangle.edge("S")]
+        assert triangle.vertices_of(edges) == frozenset({"x", "y", "z"})
+
+    def test_contains_edge_name(self, triangle):
+        assert "R" in triangle
+        assert "missing" not in triangle
+
+    def test_h2_shape(self, h2):
+        assert h2.num_vertices() == 10
+        assert h2.num_edges() == 8
+
+
+class TestDerivedHypergraphs:
+    def test_induced_subhypergraph_restricts_edges(self, triangle):
+        induced = triangle.induced_subhypergraph({"x", "y"})
+        assert induced.vertices == frozenset({"x", "y"})
+        assert {edge.vertices for edge in induced.edges} == {
+            frozenset({"x", "y"}),
+            frozenset({"y"}),
+            frozenset({"x"}),
+        }
+
+    def test_induced_subhypergraph_drops_empty_edges(self, triangle):
+        induced = triangle.induced_subhypergraph({"x"})
+        assert all(edge.vertices for edge in induced.edges)
+
+    def test_restrict_edges(self, triangle):
+        restricted = triangle.restrict_edges(["R", "T"])
+        assert restricted.num_edges() == 2
+        assert restricted.vertices == frozenset({"x", "y", "z"})
+
+    def test_equality_ignores_edge_names(self):
+        a = Hypergraph({"R": ["x", "y"]})
+        b = Hypergraph({"Q": ["y", "x"]})
+        assert a == b
+        assert hash(a) == hash(b)

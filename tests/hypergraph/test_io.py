@@ -1,0 +1,49 @@
+"""Unit tests for the HyperBench text format."""
+
+import pytest
+
+from repro.hypergraph.io import parse_hyperbench, to_hyperbench
+from repro.hypergraph.library import hypergraph_h2
+
+
+class TestParsing:
+    def test_parse_simple(self):
+        text = """
+        % a comment
+        R(x,y),
+        S(y,z),
+        T(z,x)
+        """
+        hypergraph = parse_hyperbench(text)
+        assert hypergraph.num_edges() == 3
+        assert hypergraph.edge("R").vertices == frozenset({"x", "y"})
+
+    def test_parse_multiple_edges_per_line(self):
+        hypergraph = parse_hyperbench("R(x,y), S(y,z)")
+        assert hypergraph.num_edges() == 2
+
+    def test_duplicate_edge_names_rejected(self):
+        with pytest.raises(ValueError):
+            parse_hyperbench("R(x,y),\nR(y,z)")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            parse_hyperbench("% only a comment")
+
+    def test_edge_without_vertices_rejected(self):
+        with pytest.raises(ValueError):
+            parse_hyperbench("R()")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_hyperbench("not an edge at all")
+
+
+class TestRoundTrip:
+    def test_round_trip_preserves_structure(self, h2):
+        text = to_hyperbench(h2)
+        parsed = parse_hyperbench(text)
+        assert parsed == h2
+
+    def test_round_trip_triangle(self, triangle):
+        assert parse_hyperbench(to_hyperbench(triangle)) == triangle

@@ -1,0 +1,103 @@
+"""Unit tests for the named hypergraph library and the random generators."""
+
+import pytest
+
+from repro.hypergraph.components import is_connected
+from repro.hypergraph.generators import (
+    random_acyclic_hypergraph,
+    random_cyclic_query_hypergraph,
+    random_hypergraph,
+)
+from repro.hypergraph.library import (
+    cycle_hypergraph,
+    example4_query,
+    four_cycle_query,
+    grid_hypergraph,
+    hypergraph_bog_star,
+    hypergraph_h2,
+    hypergraph_h3,
+    hypergraph_h3_prime,
+    triangle_hypergraph,
+)
+from repro.baselines.acyclic import is_alpha_acyclic
+
+
+class TestNamedHypergraphs:
+    def test_h2_edges_match_example1(self):
+        h2 = hypergraph_h2()
+        edge_sets = {edge.vertices for edge in h2.edges}
+        assert frozenset({"1", "8"}) in edge_sets
+        assert frozenset({"3", "4"}) in edge_sets
+        assert frozenset({"1", "2", "a"}) in edge_sets
+        assert frozenset({"7", "8", "b"}) in edge_sets
+        assert len(edge_sets) == 8
+
+    def test_h3_prime_adds_exactly_one_edge(self):
+        h3 = hypergraph_h3()
+        h3p = hypergraph_h3_prime()
+        assert h3p.num_edges() == h3.num_edges() + 1
+        assert frozenset({"3p", "4p"}) in {edge.vertices for edge in h3p.edges}
+        assert frozenset({"3p", "4p"}) not in {edge.vertices for edge in h3.edges}
+
+    def test_h3_has_pin_edges_for_every_pair(self):
+        h3 = hypergraph_h3()
+        pins = [edge for edge in h3.edges if edge.name.startswith("pin_")]
+        assert len(pins) == 8 * 10
+
+    def test_cycles_and_grids(self):
+        assert cycle_hypergraph(5).num_edges() == 5
+        assert grid_hypergraph(2, 3).num_vertices() == 6
+        with pytest.raises(ValueError):
+            cycle_hypergraph(2)
+
+    def test_triangle_and_four_cycle_are_connected(self):
+        assert is_connected(triangle_hypergraph())
+        assert is_connected(four_cycle_query())
+
+    def test_example4_partition_covers_all_edges(self):
+        hypergraph, partition = example4_query()
+        assert set(partition) == set(hypergraph.edge_names)
+        assert set(partition.values()) == {"p1", "p2"}
+
+    def test_bog_star_contains_star_vertex_adjacent_to_balloon(self):
+        hypergraph = hypergraph_bog_star(n=2, grid_size=2)
+        assert "star" in hypergraph.vertices
+        star_neighbours = set()
+        for edge in hypergraph.incident_edges("star"):
+            star_neighbours.update(edge.vertices - {"star"})
+        assert all(v.startswith("g_") for v in star_neighbours)
+        assert is_connected(hypergraph)
+
+    def test_bog_star_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            hypergraph_bog_star(n=0)
+
+
+class TestGenerators:
+    def test_random_hypergraph_has_no_isolated_vertices(self):
+        hypergraph = random_hypergraph(12, 6, seed=3)
+        assert not hypergraph.has_isolated_vertices()
+        assert hypergraph.num_vertices() >= 12
+
+    def test_random_hypergraph_deterministic_for_seed(self):
+        a = random_hypergraph(10, 8, seed=42)
+        b = random_hypergraph(10, 8, seed=42)
+        assert a == b
+
+    def test_random_hypergraph_needs_two_vertices(self):
+        with pytest.raises(ValueError):
+            random_hypergraph(1, 1)
+
+    def test_random_acyclic_hypergraph_is_acyclic(self):
+        for seed in range(5):
+            hypergraph = random_acyclic_hypergraph(6, seed=seed)
+            assert is_alpha_acyclic(hypergraph)
+
+    def test_random_cyclic_query_has_cycle_core(self):
+        hypergraph = random_cyclic_query_hypergraph(5, num_tails=2, seed=1)
+        assert not is_alpha_acyclic(hypergraph)
+        assert is_connected(hypergraph)
+
+    def test_random_cyclic_query_rejects_short_cycles(self):
+        with pytest.raises(ValueError):
+            random_cyclic_query_hypergraph(2)

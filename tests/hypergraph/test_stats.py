@@ -1,0 +1,50 @@
+"""Unit tests for the hypergraph statistics module."""
+
+import pytest
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.stats import (
+    degree,
+    hypergraph_statistics,
+    intersection_width,
+    multi_intersection_width,
+    rank,
+)
+
+
+class TestBasicStatistics:
+    def test_rank_and_degree(self, h2):
+        assert rank(h2) == 3
+        assert degree(h2) == 3  # vertices a and b occur in three edges each
+
+    def test_triangle_statistics(self, triangle):
+        stats = hypergraph_statistics(triangle)
+        assert stats == {
+            "vertices": 3,
+            "edges": 3,
+            "size": 6,
+            "rank": 2,
+            "degree": 2,
+            "intersection_width": 1,
+            "triple_intersection_width": 0,
+        }
+
+    def test_intersection_width(self):
+        hypergraph = Hypergraph(
+            {"a": ["x", "y", "z"], "b": ["y", "z", "w"], "c": ["z", "w", "u"]}
+        )
+        assert intersection_width(hypergraph) == 2
+        assert multi_intersection_width(hypergraph, 3) == 1
+
+    def test_multi_intersection_requires_enough_edges(self, triangle):
+        assert multi_intersection_width(triangle, 3) == 0
+        single = Hypergraph({"a": ["x", "y"]})
+        assert multi_intersection_width(single, 2) == 0
+        with pytest.raises(ValueError):
+            multi_intersection_width(triangle, 1)
+
+    def test_statistics_keys_present_for_h3(self, h3):
+        stats = hypergraph_statistics(h3)
+        assert stats["edges"] == h3.num_edges()
+        assert stats["rank"] == 5
+        assert stats["degree"] >= 10

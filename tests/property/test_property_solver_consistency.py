@@ -1,0 +1,77 @@
+"""Property-based consistency checks between the different CTD solvers.
+
+Algorithm 1 (plain CandidateTD), Algorithm 2 (constrained/preference DP) and
+the ranked enumerator are three routes to the same decision problem; on the
+same candidate bag set they must agree on feasibility, and everything they
+return must be a valid CompNF CTD over those bags.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.candidate_bags import soft_candidate_bags
+from repro.core.constrained import constrained_candidate_td
+from repro.core.constraints import ConnectedCoverConstraint
+from repro.core.ctd import candidate_td
+from repro.core.enumerate import enumerate_ctds
+from repro.core.preferences import MaxBagSizePreference, NodeCountPreference
+
+from tests.property.test_property_invariants import small_hypergraphs
+
+SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestSolverAgreement:
+    @SETTINGS
+    @given(small_hypergraphs(max_vertices=6, max_edges=6))
+    def test_algorithm1_and_algorithm2_agree_on_feasibility(self, hypergraph):
+        bags = soft_candidate_bags(hypergraph, 2)
+        plain = candidate_td(hypergraph, bags)
+        optimised = constrained_candidate_td(
+            hypergraph, bags, preference=NodeCountPreference()
+        )
+        assert (plain is None) == (optimised is None)
+        if optimised is not None:
+            assert optimised.is_valid()
+            assert optimised.uses_bags_from(bags)
+
+    @SETTINGS
+    @given(small_hypergraphs(max_vertices=6, max_edges=6))
+    def test_enumerator_agrees_with_algorithm1(self, hypergraph):
+        bags = soft_candidate_bags(hypergraph, 2)
+        plain = candidate_td(hypergraph, bags)
+        enumerated = enumerate_ctds(hypergraph, bags, limit=3)
+        assert (plain is None) == (not enumerated)
+        for decomposition in enumerated:
+            assert decomposition.is_valid()
+            assert decomposition.uses_bags_from(bags)
+            assert decomposition.is_component_normal_form()
+
+    @SETTINGS
+    @given(small_hypergraphs(max_vertices=6, max_edges=6))
+    def test_preference_optimum_is_no_worse_than_enumerated_options(self, hypergraph):
+        bags = soft_candidate_bags(hypergraph, 2)
+        preference = MaxBagSizePreference()
+        best = constrained_candidate_td(hypergraph, bags, preference=preference)
+        enumerated = enumerate_ctds(hypergraph, bags, preference=preference, limit=5)
+        if best is None:
+            assert not enumerated
+            return
+        assert enumerated
+        # The dynamic program's result is never worse than the options the
+        # beam-limited enumerator surfaces.
+        worst_enumerated = max(preference.key(d) for d in enumerated)
+        assert preference.key(best) <= worst_enumerated + 1e-9
+
+    @SETTINGS
+    @given(small_hypergraphs(max_vertices=6, max_edges=6))
+    def test_constrained_results_always_satisfy_the_constraint(self, hypergraph):
+        constraint = ConnectedCoverConstraint(hypergraph, 2)
+        bags = soft_candidate_bags(hypergraph, 2)
+        result = constrained_candidate_td(hypergraph, bags, constraint=constraint)
+        if result is not None:
+            assert result.is_valid()
+            assert constraint.holds_recursively(result)

@@ -1,0 +1,110 @@
+"""Unit tests for the synthetic workload generators and the query registry."""
+
+import pytest
+
+from repro.workloads.hetionet import EDGE_TABLES, build_hetionet_database, hetionet_query
+from repro.workloads.lsqb import build_lsqb_database, lsqb_query_qlb
+from repro.workloads.registry import benchmark_queries, benchmark_query
+from repro.workloads.tpcds import build_tpcds_database, tpcds_query_qds
+
+
+class TestTpcds:
+    def test_schema_and_primary_keys(self):
+        database = build_tpcds_database(scale=0.1)
+        assert database.primary_key("customer") == "c_customer_sk"
+        assert database.primary_key("warehouse") == "w_warehouse_sk"
+        assert database.primary_key("web_sales") is None
+        assert set(database.relation("web_sales").attributes) == {
+            "ws_bill_customer_sk",
+            "ws_quantity",
+        }
+
+    def test_deterministic_for_seed(self):
+        a = build_tpcds_database(scale=0.1, seed=5)
+        b = build_tpcds_database(scale=0.1, seed=5)
+        assert a.relation("web_sales").rows == b.relation("web_sales").rows
+
+    def test_scale_controls_size(self):
+        small = build_tpcds_database(scale=0.1)
+        large = build_tpcds_database(scale=0.5)
+        assert len(large.relation("web_sales")) > len(small.relation("web_sales"))
+
+    def test_foreign_keys_are_consistent(self):
+        database = build_tpcds_database(scale=0.1)
+        customers = {row[0] for row in database.relation("customer").rows}
+        for row in database.relation("web_sales").rows:
+            assert row[0] in customers
+
+    def test_query_is_cyclic(self):
+        database = build_tpcds_database(scale=0.05)
+        query = tpcds_query_qds(database)
+        from repro.baselines.acyclic import is_alpha_acyclic
+
+        assert not is_alpha_acyclic(query.hypergraph())
+
+
+class TestHetionet:
+    def test_all_edge_tables_present(self):
+        database = build_hetionet_database(scale=0.2)
+        for table in EDGE_TABLES:
+            assert table in database
+            assert database.relation(table).attributes == ("s", "d")
+
+    def test_edges_have_no_self_loops(self):
+        database = build_hetionet_database(scale=0.2)
+        for table in EDGE_TABLES:
+            for source, target in database.relation(table).rows:
+                assert source != target
+
+    def test_degree_distribution_is_skewed(self):
+        database = build_hetionet_database(scale=1.0)
+        relation = database.relation("hetio45173")
+        counts = {}
+        for source, _ in relation.rows:
+            counts[source] = counts.get(source, 0) + 1
+        top = sorted(counts.values(), reverse=True)[:5]
+        assert sum(top) > 0.2 * len(relation)
+
+    def test_queries_have_expected_widths(self):
+        database = build_hetionet_database(scale=0.1)
+        for name in ("q_hto", "q_hto2", "q_hto3", "q_hto4"):
+            query = hetionet_query(database, name)
+            assert query.aggregate is not None
+
+
+class TestLsqb:
+    def test_schema(self):
+        database = build_lsqb_database(scale=0.2)
+        assert database.primary_key("City") == "CityId"
+        assert database.primary_key("Person") == "PersonId"
+        assert len(database.relation("Person_knows_Person")) > 0
+
+    def test_city_references_valid(self):
+        database = build_lsqb_database(scale=0.2)
+        cities = {row[0] for row in database.relation("City").rows}
+        for _, city in database.relation("Person").rows:
+            assert city in cities
+
+    def test_query_parses_with_six_atoms(self):
+        database = build_lsqb_database(scale=0.2)
+        query = lsqb_query_qlb(database)
+        assert len(query.atoms) == 6
+
+
+class TestRegistry:
+    def test_six_queries_in_table1_order(self):
+        names = [entry.name for entry in benchmark_queries()]
+        assert names == ["q_ds", "q_hto", "q_hto2", "q_hto3", "q_hto4", "q_lb"]
+
+    def test_widths_match_table1(self):
+        widths = {entry.name: entry.width for entry in benchmark_queries()}
+        assert widths["q_ds"] == 2
+        assert widths["q_lb"] == 3
+
+    def test_lookup_and_load(self):
+        entry = benchmark_query("q_hto3")
+        database, query = entry.load(scale=0.1)
+        assert query.name == "q_hto3"
+        assert len(query.atoms) == 4
+        with pytest.raises(KeyError):
+            benchmark_query("missing")
