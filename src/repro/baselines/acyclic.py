@@ -40,11 +40,15 @@ def gyo_reduction(hypergraph: Hypergraph) -> List[FrozenSet[Vertex]]:
                 changed = True
             reduced.append(new_edge)
         edges = [e for e in reduced if e]
-        # Remove edges contained in another edge (ears).
+        # Remove edges contained in another edge (ears).  Equal edges must
+        # not eliminate each other (both being "contained" in the other), so
+        # among duplicates only the first occurrence survives.
         kept: List[FrozenSet[Vertex]] = []
         for i, edge in enumerate(edges):
             contained = any(
-                i != j and edge <= other for j, other in enumerate(edges)
+                edge < other or (edge == other and j < i)
+                for j, other in enumerate(edges)
+                if i != j
             )
             if contained:
                 changed = True

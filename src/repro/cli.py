@@ -67,12 +67,17 @@ def _cmd_decompose(args, out) -> int:
     from repro.core.candidate_bags import soft_candidate_bags
     from repro.core.constrained import constrained_candidate_td
     from repro.core.constraints import ConnectedCoverConstraint
+    from repro.core.ctd import candidate_td
 
     bags = soft_candidate_bags(hypergraph, args.width)
-    constraint = (
-        ConnectedCoverConstraint(hypergraph, args.width) if args.concov else None
-    )
-    decomposition = constrained_candidate_td(hypergraph, bags, constraint=constraint)
+    if args.concov:
+        constraint = ConnectedCoverConstraint(hypergraph, args.width)
+        decomposition = constrained_candidate_td(
+            hypergraph, bags, constraint=constraint
+        )
+    else:
+        # Unconstrained: Algorithm 1's incremental fixpoint, like soft.shw_leq.
+        decomposition = candidate_td(hypergraph, bags)
     if decomposition is None:
         label = "ConCov-shw" if args.concov else "shw"
         print(f"no decomposition of {label} width <= {args.width}", file=out)

@@ -10,51 +10,101 @@ Definition 6 iterates the construction: ``E^(0) = E(H)``,
 ``E^(i) = E^(i-1) ⋂× Soft^{i-1}_{H,k}`` (pairwise intersections), and
 ``Soft^i_{H,k}`` allows ``λ1`` to draw from ``E^(i)`` while ``λ2`` still
 ranges over the original edges.
+
+All enumeration runs on int masks (:mod:`repro.hypergraph.bitset`): unions
+and intersections are single int operations, duplicates are collapsed in int
+sets, λ2 separators are deduplicated by mask, and a λ2 edge that is already
+contained in the union accumulated so far is pruned (it cannot change the
+separator, so every union reachable through it is reachable without it at a
+smaller size).  The public API keeps accepting and returning frozensets; the
+frozenset reference implementation lives in :mod:`repro.core.reference`.
 """
 
 from __future__ import annotations
 
-from itertools import combinations
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.hypergraph.bitset import pairwise_and_masks
 from repro.hypergraph.hypergraph import Edge, Hypergraph, Vertex
 from repro.hypergraph.components import component_vertices, edge_components
 
 Bag = FrozenSet[Vertex]
 
 
-def _component_vertex_sets(hypergraph: Hypergraph, k: int) -> Set[Bag]:
-    """All sets ``⋃C`` where ``C`` is a [λ2]-component for some ``|λ2| ≤ k``.
+def _component_union_masks(hypergraph: Hypergraph, k: int) -> Set[int]:
+    """Masks of all ``⋃C`` where ``C`` is a [λ2]-component for some ``|λ2| ≤ k``.
 
     Includes ``λ2 = ∅`` (whose components are the connected components of the
-    hypergraph).  Duplicate vertex sets arising from different ``λ2`` are
-    collapsed.
+    hypergraph).  Duplicate separators arising from different ``λ2`` are
+    collapsed before any component is computed.
     """
-    edges = list(hypergraph.edges)
-    result: Set[Bag] = set()
-    separators_seen: Set[Bag] = set()
-    for size in range(0, min(k, len(edges)) + 1):
-        for lambda2 in combinations(edges, size):
-            separator = hypergraph.vertices_of(lambda2)
-            if separator in separators_seen:
+    bitsets = hypergraph.bitsets
+    edge_masks = bitsets.edge_masks
+    limit = min(k, len(edge_masks))
+    result: Set[int] = set()
+    separators_seen: Set[int] = {0}
+    result.update(bitsets.component_unions(0))
+
+    def extend(start: int, union: int, size: int) -> None:
+        for i in range(start, len(edge_masks)):
+            mask = edge_masks[i]
+            extended = union | mask
+            if extended == union:
+                # Edge i is inside the current union: any λ2 containing it
+                # yields the same separator as the λ2 without it, which is
+                # enumerated on another branch with one edge to spare.
                 continue
-            separators_seen.add(separator)
-            for component in edge_components(hypergraph, separator):
-                result.add(component_vertices(component))
+            if extended not in separators_seen:
+                separators_seen.add(extended)
+                result.update(bitsets.component_unions(extended))
+            if size + 1 < limit:
+                extend(i + 1, extended, size + 1)
+
+    if limit >= 1:
+        extend(0, 0, 0)
+    return result
+
+
+def _component_vertex_sets(hypergraph: Hypergraph, k: int) -> Set[Bag]:
+    """All sets ``⋃C`` where ``C`` is a [λ2]-component for some ``|λ2| ≤ k``."""
+    to_frozenset = hypergraph.bitsets.indexer.to_frozenset
+    return {to_frozenset(mask) for mask in _component_union_masks(hypergraph, k)}
+
+
+def _cover_union_masks(vertex_set_masks: Iterable[int], k: int) -> Set[int]:
+    """All distinct unions of between 1 and ``k`` of the given masks."""
+    distinct = sorted(set(vertex_set_masks))
+    result: Set[int] = set()
+
+    def extend(start: int, union: int, size: int) -> None:
+        for i in range(start, len(distinct)):
+            extended = union | distinct[i]
+            if size and extended == union:
+                # distinct[i] ⊆ union: the same union is produced without it.
+                continue
+            result.add(extended)
+            if size + 1 < k:
+                extend(i + 1, extended, size + 1)
+
+    if k >= 1:
+        extend(0, 0, 0)
     return result
 
 
 def _cover_unions(edge_sets: Sequence[FrozenSet[Vertex]], k: int) -> Set[Bag]:
-    """All distinct unions of between 1 and ``k`` of the given vertex sets."""
-    distinct = sorted(set(edge_sets), key=lambda s: sorted(map(str, s)))
-    result: Set[Bag] = set()
-    for size in range(1, min(k, len(distinct)) + 1):
-        for subset in combinations(distinct, size):
-            union: Set[Vertex] = set()
-            for vertex_set in subset:
-                union.update(vertex_set)
-            result.add(frozenset(union))
-    return result
+    """All distinct unions of between 1 and ``k`` of the given vertex sets.
+
+    Kept for API compatibility; builds a throwaway indexer over the union of
+    the inputs so arbitrary vertex sets (not tied to a hypergraph) work.
+    """
+    from repro.hypergraph.bitset import VertexIndexer
+
+    universe: Set[Vertex] = set()
+    for vertex_set in edge_sets:
+        universe.update(vertex_set)
+    indexer = VertexIndexer(universe)
+    masks = [indexer.to_mask(vertex_set) for vertex_set in edge_sets]
+    return {indexer.to_frozenset(mask) for mask in _cover_union_masks(masks, k)}
 
 
 def soft_candidate_bags(hypergraph: Hypergraph, k: int) -> Set[Bag]:
@@ -92,6 +142,9 @@ class SoftBagGenerator:
     worst-case blow-up of Lemma 4 on larger hypergraphs; when the bound is
     hit, the computed sets are still sound under-approximations of
     ``Soft^i_{H,k}`` (the resulting width is an upper bound of ``shw_i``).
+
+    Internally every level is a set of int masks; conversions to frozensets
+    only happen in the public accessors.
     """
 
     def __init__(
@@ -102,41 +155,44 @@ class SoftBagGenerator:
         self.hypergraph = hypergraph
         self.k = k
         self.max_subedges = max_subedges
-        self._component_sets = _component_vertex_sets(hypergraph, k)
-        # E^(0) is the original edge set (as vertex sets).
-        self._subedge_levels: List[Set[Bag]] = [
-            {e.vertices for e in hypergraph.edges}
+        self._indexer = hypergraph.bitsets.indexer
+        self._component_masks: Tuple[int, ...] = tuple(
+            sorted(_component_union_masks(hypergraph, k))
+        )
+        # E^(0) is the original edge set (as vertex masks).
+        self._subedge_levels: List[Set[int]] = [set(hypergraph.bitsets.edge_masks)]
+        self._soft_levels: List[Set[int]] = [
+            self._soft_from_subedges(self._subedge_levels[0])
         ]
-        self._soft_levels: List[Set[Bag]] = [self._soft_from_subedges(self._subedge_levels[0])]
         self.truncated = False
 
     # -- internals -------------------------------------------------------------
 
-    def _soft_from_subedges(self, subedges: Set[Bag]) -> Set[Bag]:
+    def _soft_from_subedges(self, subedge_masks: Set[int]) -> Set[int]:
         """``{ (⋃λ1) ∩ (⋃C) }`` for λ1 of ≤ k subedges and C over components."""
-        unions = _cover_unions(sorted(subedges, key=lambda s: sorted(map(str, s))), self.k)
-        bags: Set[Bag] = set()
-        for union in unions:
-            for component_set in self._component_sets:
-                bag = union & component_set
-                if bag:
-                    bags.add(bag)
-        return bags
+        unions = _cover_union_masks(subedge_masks, self.k)
+        return pairwise_and_masks(list(unions), self._component_masks)
 
-    def _next_subedges(self, level: int) -> Set[Bag]:
+    def _next_subedges(self, level: int) -> Set[int]:
         """``E^(i+1) = E^(i) ⋂× Soft^i_{H,k}`` (non-empty intersections)."""
         current = self._subedge_levels[level]
-        soft = self._soft_levels[level]
-        result: Set[Bag] = set(current)
-        for subedge in current:
+        max_subedges = self.max_subedges
+        if max_subedges is None:
+            result = pairwise_and_masks(
+                list(current), list(self._soft_levels[level])
+            )
+            result.update(current)
+            return result
+        # Sorted iteration makes the truncation cut-off deterministic.
+        soft = sorted(self._soft_levels[level])
+        result = set(current)
+        add = result.add
+        for subedge in sorted(current):
             for bag in soft:
                 intersection = subedge & bag
                 if intersection:
-                    result.add(intersection)
-                    if (
-                        self.max_subedges is not None
-                        and len(result) >= self.max_subedges
-                    ):
+                    add(intersection)
+                    if len(result) >= max_subedges:
                         self.truncated = True
                         return result
         return result
@@ -153,28 +209,40 @@ class SoftBagGenerator:
             self._subedge_levels.append(next_subedges)
             self._soft_levels.append(self._soft_from_subedges(next_subedges))
 
+    def _to_bags(self, masks: Iterable[int]) -> Set[Bag]:
+        to_frozenset = self._indexer.to_frozenset
+        return {to_frozenset(mask) for mask in masks}
+
     # -- public API -------------------------------------------------------------
 
     def subedges(self, level: int = 0) -> Set[Bag]:
         """The subedge set ``E^(level)`` (as vertex sets)."""
         if level > 0:
             self._ensure_level(level)
-        return set(self._subedge_levels[min(level, len(self._subedge_levels) - 1)])
+        return self._to_bags(
+            self._subedge_levels[min(level, len(self._subedge_levels) - 1)]
+        )
 
     def candidate_bags(self, level: int = 0) -> Set[Bag]:
         """The candidate-bag set ``Soft^level_{H,k}``."""
+        self._ensure_level(level)
+        return self._to_bags(self._soft_levels[level])
+
+    def candidate_bag_masks(self, level: int = 0) -> Set[int]:
+        """``Soft^level_{H,k}`` as masks over this hypergraph's indexer."""
         self._ensure_level(level)
         return set(self._soft_levels[level])
 
     def fixpoint_candidate_bags(self, max_level: int = 20) -> Set[Bag]:
         """``Soft^∞_{H,k}`` up to ``max_level`` iterations (Lemma 6 fixpoint)."""
-        previous: Optional[Set[Bag]] = None
+        previous: Optional[Set[int]] = None
         for level in range(max_level + 1):
-            current = self.candidate_bags(level)
+            self._ensure_level(level)
+            current = self._soft_levels[level]
             if previous is not None and current == previous:
-                return current
+                return self._to_bags(current)
             previous = current
-        return previous if previous is not None else set()
+        return self._to_bags(previous) if previous is not None else set()
 
 
 def iterated_soft_candidate_bags(

@@ -4,20 +4,74 @@ The λ-labels of (G)HDs and the ConCov constraint both need edge covers:
 collections of hyperedges whose union contains a given bag.  This module
 provides greedy and exact minimum covers, enumeration of all covers up to a
 size bound, and the connectedness test used by the ConCov constraint.
+
+The searches run on int masks: per-call tables map each bag vertex to the
+mask of relevant edges covering it, so pivot selection (fewest covering
+edges first) and the branch step are bit scans instead of the seed's
+per-pivot linear scans over edge frozensets.  Public signatures are
+unchanged; the frozenset reference implementation lives in
+:mod:`repro.core.reference`.
 """
 
 from __future__ import annotations
 
 from typing import FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.hypergraph.bitset import iter_bits
 from repro.hypergraph.hypergraph import Edge, Hypergraph, Vertex
 
 
-def _relevant_edges(hypergraph: Hypergraph, bag: FrozenSet[Vertex]) -> List[Edge]:
-    """Edges that intersect the bag, largest intersection first."""
-    edges = [e for e in hypergraph.edges if e.vertices & bag]
-    edges.sort(key=lambda e: (-len(e.vertices & bag), e.name))
-    return edges
+def _bag_mask(hypergraph: Hypergraph, bag: FrozenSet[Vertex]) -> Optional[int]:
+    """The bag as a mask, or ``None`` if it contains unknown vertices."""
+    indexer = hypergraph.bitsets.indexer
+    mask = 0
+    for vertex in bag:
+        if vertex not in indexer:
+            return None
+        mask |= 1 << indexer.bit(vertex)
+    return mask
+
+
+class _CoverTables:
+    """Per-bag search tables: relevant edges and vertex→covering-edges masks."""
+
+    __slots__ = ("edges", "edge_masks", "coverable", "covering_edges", "counts")
+
+    def __init__(self, hypergraph: Hypergraph, bag_mask: int):
+        bitsets = hypergraph.bitsets
+        relevant = [
+            (edge, edge_mask & bag_mask, edge_mask)
+            for edge, edge_mask in zip(hypergraph.edges, bitsets.edge_masks)
+            if edge_mask & bag_mask
+        ]
+        # Largest intersection first, names break ties (the seed's order).
+        relevant.sort(key=lambda item: (-item[1].bit_count(), item[0].name))
+        self.edges: Tuple[Edge, ...] = tuple(item[0] for item in relevant)
+        self.edge_masks: Tuple[int, ...] = tuple(item[1] for item in relevant)
+        coverable = 0
+        for mask in self.edge_masks:
+            coverable |= mask
+        self.coverable: int = coverable
+        # covering_edges[b]: mask over *relevant edge positions* of the edges
+        # containing the bag vertex at bit b; counts[b] = its popcount.
+        covering: dict = {}
+        for position, mask in enumerate(self.edge_masks):
+            position_bit = 1 << position
+            for b in iter_bits(mask):
+                covering[b] = covering.get(b, 0) | position_bit
+        self.covering_edges = covering
+        self.counts = {b: m.bit_count() for b, m in covering.items()}
+
+    def pivot(self, remaining: int) -> int:
+        """The remaining vertex bit with the fewest covering edges."""
+        counts = self.counts
+        best_bit = -1
+        best_count = None
+        for b in iter_bits(remaining):
+            count = counts.get(b, 0)
+            if best_count is None or count < best_count:
+                best_bit, best_count = b, count
+        return best_bit
 
 
 def greedy_edge_cover(
@@ -27,19 +81,27 @@ def greedy_edge_cover(
 
     Returns ``None`` if no cover exists (some bag vertex occurs in no edge).
     """
-    remaining = set(bag)
+    bag_set = frozenset(bag)
+    if not bag_set:
+        return []
+    remaining = _bag_mask(hypergraph, bag_set)
+    if remaining is None:
+        return None
+    bitsets = hypergraph.bitsets
+    edges = hypergraph.edges
+    edge_masks = bitsets.edge_masks
     cover: List[Edge] = []
     while remaining:
-        best = None
+        best = -1
         best_gain = 0
-        for edge in hypergraph.edges:
-            gain = len(edge.vertices & remaining)
+        for i, mask in enumerate(edge_masks):
+            gain = (mask & remaining).bit_count()
             if gain > best_gain:
-                best, best_gain = edge, gain
-        if best is None:
+                best, best_gain = i, gain
+        if best < 0:
             return None
-        cover.append(best)
-        remaining -= best.vertices
+        cover.append(edges[best])
+        remaining &= ~edge_masks[best]
     return cover
 
 
@@ -55,21 +117,28 @@ def minimum_edge_cover(
     bag_set = frozenset(bag)
     if not bag_set:
         return []
-    edges = _relevant_edges(hypergraph, bag_set)
-    coverable = set()
-    for edge in edges:
-        coverable.update(edge.vertices & bag_set)
-    if coverable != bag_set:
+    bag_mask = _bag_mask(hypergraph, bag_set)
+    if bag_mask is None:
+        return None
+    tables = _CoverTables(hypergraph, bag_mask)
+    if tables.coverable != bag_mask:
         return None
     greedy = greedy_edge_cover(hypergraph, bag_set)
-    best: Optional[List[Edge]] = greedy
-    limit = len(greedy) if greedy is not None else len(edges)
+    best: Optional[List[int]] = None
+    limit = len(tables.edges)
+    if greedy is not None:
+        positions = {edge.name: i for i, edge in enumerate(tables.edges)}
+        best = [positions[edge.name] for edge in greedy]
+        limit = len(best)
     if upper_bound is not None:
         limit = min(limit, upper_bound)
         if best is not None and len(best) > upper_bound:
             best = None
 
-    def search(remaining: FrozenSet[Vertex], chosen: List[Edge], start: int) -> None:
+    edge_masks = tables.edge_masks
+    covering = tables.covering_edges
+
+    def search(remaining: int, chosen: List[int]) -> None:
         nonlocal best, limit
         if not remaining:
             if best is None or len(chosen) < len(best):
@@ -78,21 +147,18 @@ def minimum_edge_cover(
             return
         if len(chosen) >= limit:
             return
-        # Branch on an uncovered vertex with the fewest covering edges.
-        pivot = min(
-            remaining,
-            key=lambda v: sum(1 for e in edges if v in e.vertices),
-        )
-        for edge in edges:
-            if pivot in edge.vertices:
-                chosen.append(edge)
-                search(remaining - edge.vertices, chosen, start)
-                chosen.pop()
+        pivot = tables.pivot(remaining)
+        for position in iter_bits(covering[pivot]):
+            chosen.append(position)
+            search(remaining & ~edge_masks[position], chosen)
+            chosen.pop()
 
-    search(bag_set, [], 0)
-    if best is not None and upper_bound is not None and len(best) > upper_bound:
+    search(bag_mask, [])
+    if best is None:
         return None
-    return best
+    if upper_bound is not None and len(best) > upper_bound:
+        return None
+    return [tables.edges[position] for position in best]
 
 
 def enumerate_covers(
@@ -110,29 +176,33 @@ def enumerate_covers(
     if not bag_set:
         yield ()
         return
-    edges = _relevant_edges(hypergraph, bag_set)
+    bag_mask = _bag_mask(hypergraph, bag_set)
+    if bag_mask is None:
+        return
+    tables = _CoverTables(hypergraph, bag_mask)
+    edge_masks = tables.edge_masks
+    edges = tables.edges
+    covering = tables.covering_edges
     seen = set()
 
-    def search(remaining: FrozenSet[Vertex], chosen: List[Edge]) -> Iterator[Tuple[Edge, ...]]:
+    def search(remaining: int, chosen: List[int], chosen_mask: int) -> Iterator[Tuple[Edge, ...]]:
         if not remaining:
-            names = frozenset(e.name for e in chosen)
-            if names not in seen:
-                seen.add(names)
-                yield tuple(chosen)
+            key = chosen_mask
+            if key not in seen:
+                seen.add(key)
+                yield tuple(edges[position] for position in chosen)
             return
         if len(chosen) >= max_size:
             return
-        pivot = min(
-            remaining,
-            key=lambda v: sum(1 for e in edges if v in e.vertices),
-        )
-        for edge in edges:
-            if pivot in edge.vertices and edge not in chosen:
-                chosen.append(edge)
-                yield from search(remaining - edge.vertices, chosen)
-                chosen.pop()
+        pivot = tables.pivot(remaining)
+        for position in iter_bits(covering.get(pivot, 0) & ~chosen_mask):
+            chosen.append(position)
+            yield from search(
+                remaining & ~edge_masks[position], chosen, chosen_mask | (1 << position)
+            )
+            chosen.pop()
 
-    yield from search(bag_set, [])
+    yield from search(bag_mask, [], 0)
 
 
 def connected_edge_set(edges: Sequence[Edge]) -> bool:
@@ -144,12 +214,14 @@ def connected_edge_set(edges: Sequence[Edge]) -> bool:
     edge_list = list(edges)
     if len(edge_list) <= 1:
         return True
+    vertex_sets = [edge.vertices for edge in edge_list]
     visited = {0}
     frontier = [0]
     while frontier:
         current = frontier.pop()
-        for j, other in enumerate(edge_list):
-            if j not in visited and edge_list[current].vertices & other.vertices:
+        current_vertices = vertex_sets[current]
+        for j, other in enumerate(vertex_sets):
+            if j not in visited and current_vertices & other:
                 visited.add(j)
                 frontier.append(j)
     return len(visited) == len(edge_list)

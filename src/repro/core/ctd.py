@@ -4,15 +4,28 @@ Given a hypergraph ``H`` and a set ``𝒮`` of candidate bags, decide whether a
 tree decomposition of ``H`` in component normal form exists all of whose bags
 belong to ``𝒮`` and, if so, construct one.
 
-The solver follows the paper's Algorithm 1: it maintains, per block, a basis
-(or "not yet satisfied"), and repeatedly tries to satisfy further blocks
-until a fixpoint is reached.  Accept iff the root block ``(∅, V(H))`` is
-satisfied through a non-empty basis; the corresponding decomposition is then
-assembled recursively from the recorded bases.
+The solver implements the paper's Algorithm 1 fixpoint incrementally instead
+of round-robin over the full (block × candidate) cross product:
+
+* candidate bags are indexed by the block unions they fit inside
+  (``X ⊆ S ∪ C`` is a necessary condition for ``X`` to be a basis of
+  ``(S, C)``), so only feasible (candidate, block) pairs are ever probed;
+* the satisfaction-independent basis conditions are evaluated once per pair
+  (memoised in :meth:`BlockIndex.basis_subs`);
+* a worklist keyed on newly-satisfied blocks drives re-probing: a block
+  ``(S, C)`` can only become satisfiable when one of the sub-blocks of some
+  candidate becomes satisfied, and those sub-blocks are exactly the blocks
+  headed by that candidate, so each satisfaction event re-probes just the
+  pairs whose candidate equals the event block's head.
+
+The result (satisfied blocks and the accept decision) is identical to the
+seed's round-robin fixpoint, kept as
+:func:`repro.core.reference.reference_candidate_td_decide`.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Dict, FrozenSet, Iterable, List, Optional
 
 from repro.hypergraph.hypergraph import Hypergraph, Vertex
@@ -36,26 +49,88 @@ class CandidateTDSolver:
     def _run_fixpoint(self) -> None:
         if self._solved:
             return
-        blocks = self.index.topological_order()
-        for block in blocks:
-            if not block.component:
-                self._basis[block] = frozenset()
+        index = self.index
+        order = index.topological_order_ids()
+        block_count = index.block_count()
+        head_masks, component_masks, union_masks, touching_masks = index.mask_arrays()
+        satisfied = bytearray(block_count)
+        basis_cand: List[Optional[int]] = [None] * block_count
+        for block_id in range(block_count):
+            if not component_masks[block_id]:
+                satisfied[block_id] = 1
+        candidate_masks = index.candidate_masks
+        # Per candidate, the ids of the blocks it heads (its potential
+        # sub-blocks): candidate bags are indexed by the vertex sets they
+        # fit inside via the mask subset pre-filter below.
+        candidate_sub_ids = [
+            index.blocks_of_head_mask(mask) for mask in candidate_masks
+        ]
+        queue: deque = deque()
+        # (block id, candidate id, sub ids) triples whose static basis
+        # conditions hold but which wait on the keyed sub-block's
+        # satisfaction (condition 3).
+        waiters: Dict[int, List] = {}
+
+        # Bottom-up pass: probe each block's fitting candidates until one is
+        # a basis; register the statically-feasible failures as waiters.
+        # The static conditions are evaluated inline (cf.
+        # BlockIndex.basis_sub_ids) — each pair is visited at most once, so
+        # memoisation would only add overhead on this path.
+        for block_id in order:
+            if satisfied[block_id]:
+                continue
+            block_union = union_masks[block_id]
+            block_component = component_masks[block_id]
+            block_head = head_masks[block_id]
+            block_touching = touching_masks[block_id]
+            not_union = ~block_union
+            for cand_id, candidate_mask in enumerate(candidate_masks):
+                if candidate_mask & not_union or candidate_mask == block_head:
+                    continue
+                covered = candidate_mask
+                subs = []
+                for sub_id in candidate_sub_ids[cand_id]:
+                    if (union_masks[sub_id] & not_union) == 0 and (
+                        component_masks[sub_id] & ~block_component
+                    ) == 0:
+                        subs.append(sub_id)
+                        covered |= component_masks[sub_id]
+                if block_component & ~covered or block_touching & ~covered:
+                    continue
+                pending = [s for s in subs if not satisfied[s]]
+                if not pending:
+                    basis_cand[block_id] = cand_id
+                    satisfied[block_id] = 1
+                    queue.append(block_id)
+                    break
+                for s in pending:
+                    waiters.setdefault(s, []).append((block_id, cand_id, subs))
+        # Worklist: once a sub-block is satisfied, re-probe exactly the pairs
+        # that were waiting on it.  A pair stays registered on its other
+        # pending sub-blocks, so its last-satisfied dependency re-probes it.
+        while queue:
+            event = queue.popleft()
+            for block_id, cand_id, subs in waiters.pop(event, ()):
+                if satisfied[block_id]:
+                    continue
+                if all(satisfied[s] for s in subs):
+                    basis_cand[block_id] = cand_id
+                    satisfied[block_id] = 1
+                    queue.append(block_id)
+        # Materialise the id-space result into the Block-keyed public maps.
+        candidate_bags = index.candidate_bags
+        empty: Bag = frozenset()
+        for block_id in range(block_count):
+            block = index.block_at(block_id)
+            if satisfied[block_id]:
+                cand_id = basis_cand[block_id]
+                self._basis[block] = (
+                    empty if cand_id is None else candidate_bags[cand_id]
+                )
                 self._satisfied[block] = True
             else:
                 self._basis[block] = None
                 self._satisfied[block] = False
-        changed = True
-        while changed:
-            changed = False
-            for block in blocks:
-                if self._satisfied[block]:
-                    continue
-                for candidate in self.index.candidate_bags:
-                    if self.index.is_basis(candidate, block, self._satisfied):
-                        self._basis[block] = candidate
-                        self._satisfied[block] = True
-                        changed = True
-                        break
         self._solved = True
 
     # -- public API ----------------------------------------------------------------

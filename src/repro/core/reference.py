@@ -1,0 +1,376 @@
+"""Frozenset reference implementations of the combinatorial hot paths.
+
+These are the original (pre-bitset-kernel) implementations of the
+[S]-component computation, candidate-bag generation (``Soft^i_{H,k}``),
+minimum edge covers and the Algorithm 1 fixpoint, kept verbatim as an
+executable specification.  The production code in
+:mod:`repro.hypergraph.components`, :mod:`repro.core.candidate_bags`,
+:mod:`repro.core.covers` and :mod:`repro.core.ctd` runs the same algorithms
+on int masks (see :mod:`repro.hypergraph.bitset`); the equivalence property
+tests assert that both paths produce byte-identical components, bags, cover
+sizes and CandidateTD decisions, and the kernel benchmark times this module
+as the baseline.
+
+Nothing here is used on a hot path — do not "optimise" this module; its
+value is being the simple, obviously-correct version.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.hypergraph.hypergraph import Edge, Hypergraph, Vertex
+
+Bag = FrozenSet[Vertex]
+
+
+# -- components (seed version of repro.hypergraph.components) -----------------
+
+
+class _UnionFind:
+    """Union-find over arbitrary hashable items."""
+
+    def __init__(self, items: Iterable):
+        self._parent = {item: item for item in items}
+
+    def find(self, item):
+        parent = self._parent
+        root = item
+        while parent[root] != root:
+            root = parent[root]
+        while parent[item] != root:
+            parent[item], item = root, parent[item]
+        return root
+
+    def union(self, a, b) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[ra] = rb
+
+    def groups(self) -> Dict:
+        result: Dict = {}
+        for item in self._parent:
+            result.setdefault(self.find(item), []).append(item)
+        return result
+
+
+def reference_vertex_components(
+    hypergraph: Hypergraph, separator: Iterable[Vertex] = ()
+) -> List[FrozenSet[Vertex]]:
+    """Seed ``vertex_components``: union-find over the non-separator vertices."""
+    sep = frozenset(separator)
+    outside = [v for v in hypergraph.vertices if v not in sep]
+    if not outside:
+        return []
+    uf = _UnionFind(outside)
+    for edge in hypergraph.edges:
+        free = [v for v in edge.vertices if v not in sep]
+        for i in range(1, len(free)):
+            uf.union(free[0], free[i])
+    comps = [frozenset(group) for group in uf.groups().values()]
+    return sorted(comps, key=lambda c: sorted(map(str, c)))
+
+
+def reference_edge_components(
+    hypergraph: Hypergraph, separator: Iterable[Vertex] = ()
+) -> List[Tuple[Edge, ...]]:
+    """Seed ``edge_components``: bucket edges by their vertex component."""
+    sep = frozenset(separator)
+    vcomps = reference_vertex_components(hypergraph, sep)
+    index: Dict[Vertex, int] = {}
+    for i, comp in enumerate(vcomps):
+        for v in comp:
+            index[v] = i
+    buckets: List[List[Edge]] = [[] for _ in vcomps]
+    for edge in hypergraph.edges:
+        free = next((v for v in edge.vertices if v not in sep), None)
+        if free is not None:
+            buckets[index[free]].append(edge)
+    return [tuple(bucket) for bucket in buckets if bucket]
+
+
+def _component_vertices(component: Iterable[Edge]) -> FrozenSet[Vertex]:
+    result = set()
+    for edge in component:
+        result.update(edge.vertices)
+    return frozenset(result)
+
+
+# -- candidate bags (seed version of repro.core.candidate_bags) ---------------
+
+
+def reference_component_vertex_sets(hypergraph: Hypergraph, k: int) -> Set[Bag]:
+    """Seed ``_component_vertex_sets``: all ``⋃C`` for [λ2]-components, |λ2| ≤ k."""
+    edges = list(hypergraph.edges)
+    result: Set[Bag] = set()
+    separators_seen: Set[Bag] = set()
+    for size in range(0, min(k, len(edges)) + 1):
+        for lambda2 in combinations(edges, size):
+            separator = hypergraph.vertices_of(lambda2)
+            if separator in separators_seen:
+                continue
+            separators_seen.add(separator)
+            for component in reference_edge_components(hypergraph, separator):
+                result.add(_component_vertices(component))
+    return result
+
+
+def reference_cover_unions(edge_sets: Sequence[FrozenSet[Vertex]], k: int) -> Set[Bag]:
+    """Seed ``_cover_unions``: all unions of 1..k of the given vertex sets."""
+    distinct = sorted(set(edge_sets), key=lambda s: sorted(map(str, s)))
+    result: Set[Bag] = set()
+    for size in range(1, min(k, len(distinct)) + 1):
+        for subset in combinations(distinct, size):
+            union: Set[Vertex] = set()
+            for vertex_set in subset:
+                union.update(vertex_set)
+            result.add(frozenset(union))
+    return result
+
+
+class ReferenceSoftBagGenerator:
+    """Seed :class:`SoftBagGenerator`: iterated ``Soft^i_{H,k}`` on frozensets."""
+
+    def __init__(
+        self, hypergraph: Hypergraph, k: int, max_subedges: Optional[int] = None
+    ):
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.hypergraph = hypergraph
+        self.k = k
+        self.max_subedges = max_subedges
+        self._component_sets = reference_component_vertex_sets(hypergraph, k)
+        self._subedge_levels: List[Set[Bag]] = [
+            {e.vertices for e in hypergraph.edges}
+        ]
+        self._soft_levels: List[Set[Bag]] = [
+            self._soft_from_subedges(self._subedge_levels[0])
+        ]
+        self.truncated = False
+
+    def _soft_from_subedges(self, subedges: Set[Bag]) -> Set[Bag]:
+        unions = reference_cover_unions(
+            sorted(subedges, key=lambda s: sorted(map(str, s))), self.k
+        )
+        bags: Set[Bag] = set()
+        for union in unions:
+            for component_set in self._component_sets:
+                bag = union & component_set
+                if bag:
+                    bags.add(bag)
+        return bags
+
+    def _next_subedges(self, level: int) -> Set[Bag]:
+        current = self._subedge_levels[level]
+        soft = self._soft_levels[level]
+        result: Set[Bag] = set(current)
+        for subedge in current:
+            for bag in soft:
+                intersection = subedge & bag
+                if intersection:
+                    result.add(intersection)
+                    if (
+                        self.max_subedges is not None
+                        and len(result) >= self.max_subedges
+                    ):
+                        self.truncated = True
+                        return result
+        return result
+
+    def _ensure_level(self, level: int) -> None:
+        while len(self._soft_levels) <= level:
+            i = len(self._subedge_levels) - 1
+            next_subedges = self._next_subedges(i)
+            if next_subedges == self._subedge_levels[i]:
+                self._subedge_levels.append(next_subedges)
+                self._soft_levels.append(self._soft_levels[i])
+                continue
+            self._subedge_levels.append(next_subedges)
+            self._soft_levels.append(self._soft_from_subedges(next_subedges))
+
+    def subedges(self, level: int = 0) -> Set[Bag]:
+        if level > 0:
+            self._ensure_level(level)
+        return set(self._subedge_levels[min(level, len(self._subedge_levels) - 1)])
+
+    def candidate_bags(self, level: int = 0) -> Set[Bag]:
+        self._ensure_level(level)
+        return set(self._soft_levels[level])
+
+    def fixpoint_candidate_bags(self, max_level: int = 20) -> Set[Bag]:
+        previous: Optional[Set[Bag]] = None
+        for level in range(max_level + 1):
+            current = self.candidate_bags(level)
+            if previous is not None and current == previous:
+                return current
+            previous = current
+        return previous if previous is not None else set()
+
+
+def reference_soft_candidate_bags(hypergraph: Hypergraph, k: int) -> Set[Bag]:
+    """Seed ``soft_candidate_bags``: ``Soft_{H,k}`` of Definition 3."""
+    return ReferenceSoftBagGenerator(hypergraph, k).candidate_bags(0)
+
+
+# -- covers (seed version of repro.core.covers) -------------------------------
+
+
+def reference_greedy_edge_cover(
+    hypergraph: Hypergraph, bag: Iterable[Vertex]
+) -> Optional[List[Edge]]:
+    """Seed ``greedy_edge_cover``."""
+    remaining = set(bag)
+    cover: List[Edge] = []
+    while remaining:
+        best = None
+        best_gain = 0
+        for edge in hypergraph.edges:
+            gain = len(edge.vertices & remaining)
+            if gain > best_gain:
+                best, best_gain = edge, gain
+        if best is None:
+            return None
+        cover.append(best)
+        remaining -= best.vertices
+    return cover
+
+
+def reference_minimum_edge_cover(
+    hypergraph: Hypergraph, bag: Iterable[Vertex], upper_bound: Optional[int] = None
+) -> Optional[List[Edge]]:
+    """Seed ``minimum_edge_cover``: branch and bound on frozensets."""
+    bag_set = frozenset(bag)
+    if not bag_set:
+        return []
+    edges = [e for e in hypergraph.edges if e.vertices & bag_set]
+    edges.sort(key=lambda e: (-len(e.vertices & bag_set), e.name))
+    coverable = set()
+    for edge in edges:
+        coverable.update(edge.vertices & bag_set)
+    if coverable != bag_set:
+        return None
+    greedy = reference_greedy_edge_cover(hypergraph, bag_set)
+    best: Optional[List[Edge]] = greedy
+    limit = len(greedy) if greedy is not None else len(edges)
+    if upper_bound is not None:
+        limit = min(limit, upper_bound)
+        if best is not None and len(best) > upper_bound:
+            best = None
+
+    def search(remaining: FrozenSet[Vertex], chosen: List[Edge]) -> None:
+        nonlocal best, limit
+        if not remaining:
+            if best is None or len(chosen) < len(best):
+                best = list(chosen)
+                limit = len(best)
+            return
+        if len(chosen) >= limit:
+            return
+        pivot = min(
+            remaining,
+            key=lambda v: sum(1 for e in edges if v in e.vertices),
+        )
+        for edge in edges:
+            if pivot in edge.vertices:
+                chosen.append(edge)
+                search(remaining - edge.vertices, chosen)
+                chosen.pop()
+
+    search(bag_set, [])
+    if best is not None and upper_bound is not None and len(best) > upper_bound:
+        return None
+    return best
+
+
+# -- Algorithm 1 (seed versions of repro.core.blocks / repro.core.ctd) --------
+
+
+class _ReferenceBlock:
+    __slots__ = ("head", "component")
+
+    def __init__(self, head: Bag, component: Bag):
+        self.head = head
+        self.component = component
+
+    @property
+    def union(self) -> Bag:
+        return self.head | self.component
+
+    def leq(self, other: "_ReferenceBlock") -> bool:
+        return self.union <= other.union and self.component <= other.component
+
+    def __eq__(self, other):
+        if not isinstance(other, _ReferenceBlock):
+            return NotImplemented
+        return self.head == other.head and self.component == other.component
+
+    def __hash__(self):
+        return hash((self.head, self.component))
+
+
+def reference_candidate_td_decide(
+    hypergraph: Hypergraph, candidate_bags: Iterable[Bag]
+) -> bool:
+    """Seed Algorithm 1 fixpoint: round-robin over all (block, candidate) pairs.
+
+    Returns the CandidateTD decision (root block satisfied through a
+    non-empty basis).
+    """
+    bags = sorted(
+        {frozenset(bag) for bag in candidate_bags if bag},
+        key=lambda bag: (len(bag), sorted(map(str, bag))),
+    )
+    blocks_by_head: Dict[Bag, List[_ReferenceBlock]] = {}
+    all_blocks: List[_ReferenceBlock] = []
+    empty: Bag = frozenset()
+    for head in bags + [empty]:
+        blocks = [_ReferenceBlock(head, frozenset())]
+        for component in reference_vertex_components(hypergraph, head):
+            blocks.append(_ReferenceBlock(head, component))
+        blocks_by_head[head] = blocks
+        all_blocks.extend(blocks)
+    root_block = _ReferenceBlock(empty, frozenset(hypergraph.vertices))
+    if root_block not in blocks_by_head[empty]:
+        blocks_by_head[empty].append(root_block)
+        all_blocks.append(root_block)
+
+    def is_basis(candidate: Bag, block: _ReferenceBlock, satisfied) -> bool:
+        if candidate == block.head:
+            return False
+        if not candidate <= block.union:
+            return False
+        subs = [b for b in blocks_by_head.get(candidate, []) if b.leq(block)]
+        covered = set(candidate)
+        for sub in subs:
+            covered.update(sub.component)
+        if not block.component <= covered:
+            return False
+        for edge in hypergraph.edges:
+            if edge.vertices & block.component and not edge.vertices <= covered:
+                return False
+        return all(satisfied.get(sub, False) for sub in subs)
+
+    ordered = sorted(
+        all_blocks,
+        key=lambda b: (len(b.union), len(b.component), sorted(map(str, b.head))),
+    )
+    basis: Dict[_ReferenceBlock, Optional[Bag]] = {}
+    satisfied: Dict[_ReferenceBlock, bool] = {}
+    for block in ordered:
+        trivially = not block.component
+        basis[block] = frozenset() if trivially else None
+        satisfied[block] = trivially
+    changed = True
+    while changed:
+        changed = False
+        for block in ordered:
+            if satisfied[block]:
+                continue
+            for candidate in bags:
+                if is_basis(candidate, block, satisfied):
+                    basis[block] = candidate
+                    satisfied[block] = True
+                    changed = True
+                    break
+    return satisfied.get(root_block, False) and bool(basis.get(root_block))

@@ -77,38 +77,60 @@ class GeneralizedHypertreeDecomposition(TreeDecomposition):
 
     def covers_are_valid(self) -> bool:
         """Every λ-label consists of hypergraph edges and covers its bag."""
-        edge_sets = {e.name: e.vertices for e in self.hypergraph.edges}
+        hypergraph = self.hypergraph
+        bitsets = hypergraph.bitsets
+        edge_sets = {e.name: e.vertices for e in hypergraph.edges}
+        edge_masks = bitsets.edge_mask_by_name
         for node in self.tree.nodes():
-            union = set()
+            union = 0
             for edge in self.cover(node):
                 if edge_sets.get(edge.name) != edge.vertices:
                     return False
-                union.update(edge.vertices)
-            if not self.bag(node) <= union:
+                union |= edge_masks[edge.name]
+            try:
+                bag_mask = bitsets.indexer.to_mask(self.bag(node))
+            except KeyError:
+                # A bag vertex outside V(H) is never covered by λ edges.
+                return False
+            if bag_mask & ~union:
                 return False
         return True
 
     def is_valid(self) -> bool:
         return super().is_valid() and self.covers_are_valid()
 
+    def _special_condition_holds_at(self, node: TreeNode) -> bool:
+        """``B(T_u) ∩ ⋃λ(u) ⊆ B(u)`` at one node, tested on masks.
+
+        Clipping to ``V(H)`` is sound: the left-hand side is a subset of
+        ``⋃λ(u) ⊆ V(H)``, so vertices outside the hypergraph can neither
+        violate nor help satisfy the condition.
+        """
+        hypergraph = self.hypergraph
+        edge_masks = hypergraph.bitsets.edge_mask_by_name
+        cover_union = 0
+        for edge in self.cover(node):
+            mask = edge_masks.get(edge.name)
+            if mask is None:
+                mask = hypergraph.vertex_mask(edge.vertices)
+            cover_union |= mask
+        subtree_mask = hypergraph.vertex_mask(self.subtree_vertices(node))
+        bag_mask = hypergraph.vertex_mask(self.bag(node))
+        return (subtree_mask & cover_union) & ~bag_mask == 0
+
     def satisfies_special_condition(self) -> bool:
         """The HD special condition: ``B(T_u) ∩ ⋃λ(u) ⊆ B(u)`` for all ``u``."""
-        for node in self.tree.nodes():
-            subtree = self.subtree_vertices(node)
-            cover_union = self.hypergraph.vertices_of(self.cover(node))
-            if not (subtree & cover_union) <= self.bag(node):
-                return False
-        return True
+        return all(
+            self._special_condition_holds_at(node) for node in self.tree.nodes()
+        )
 
     def special_condition_violations(self) -> List[TreeNode]:
         """The nodes at which the special condition is violated."""
-        violations = []
-        for node in self.tree.nodes():
-            subtree = self.subtree_vertices(node)
-            cover_union = self.hypergraph.vertices_of(self.cover(node))
-            if not (subtree & cover_union) <= self.bag(node):
-                violations.append(node)
-        return violations
+        return [
+            node
+            for node in self.tree.nodes()
+            if not self._special_condition_holds_at(node)
+        ]
 
     def to_tree_decomposition(self) -> TreeDecomposition:
         """Forget the λ-labels, keeping only the bags."""

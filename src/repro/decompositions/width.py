@@ -67,11 +67,17 @@ def is_complete_join_tree(td: TreeDecomposition) -> bool:
     """
     hypergraph = td.hypergraph
     for bag in td.bags():
-        if not any(bag <= edge.vertices for edge in hypergraph.edges):
+        if not single_edge_coverable(hypergraph, bag):
             return False
     return True
 
 
 def single_edge_coverable(hypergraph: Hypergraph, bag: FrozenSet[Vertex]) -> bool:
     """``True`` iff the bag is a subset of a single hyperedge."""
-    return any(bag <= edge.vertices for edge in hypergraph.edges)
+    bitsets = hypergraph.bitsets
+    try:
+        bag_mask = bitsets.indexer.to_mask(bag)
+    except KeyError:
+        # A vertex outside V(H) can never be covered by an edge.
+        return False
+    return any((bag_mask & ~edge_mask) == 0 for edge_mask in bitsets.edge_masks)

@@ -11,6 +11,14 @@ Terminology follows Section 2 of the paper.  For a vertex set ``S``:
 
 Both flavours are used: Definition 3 (candidate bags) needs edge components,
 the block machinery of Algorithm 1 needs vertex components.
+
+The computation runs on the hypergraph's bitset kernel
+(:mod:`repro.hypergraph.bitset`): a BFS over per-edge masks replaces the
+seed's per-vertex union-find, and results are memoised per separator mask on
+the hypergraph, so repeated probes of the same separator (the common case in
+candidate-bag generation and Algorithm 1) cost a dict lookup.  The public
+API is unchanged and keeps returning frozensets in the same deterministic
+order as the seed implementation (see :mod:`repro.core.reference`).
 """
 
 from __future__ import annotations
@@ -18,33 +26,6 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterable, List, Tuple
 
 from repro.hypergraph.hypergraph import Edge, Hypergraph, Vertex
-
-
-class _UnionFind:
-    """Union-find over arbitrary hashable items."""
-
-    def __init__(self, items: Iterable):
-        self._parent = {item: item for item in items}
-
-    def find(self, item):
-        parent = self._parent
-        root = item
-        while parent[root] != root:
-            root = parent[root]
-        while parent[item] != root:
-            parent[item], item = root, parent[item]
-        return root
-
-    def union(self, a, b) -> None:
-        ra, rb = self.find(a), self.find(b)
-        if ra != rb:
-            self._parent[ra] = rb
-
-    def groups(self) -> Dict:
-        result: Dict = {}
-        for item in self._parent:
-            result.setdefault(self.find(item), []).append(item)
-        return result
 
 
 def vertex_components(
@@ -56,17 +37,12 @@ def vertex_components(
     sorted deterministically (by sorted string representation) so callers can
     rely on a stable ordering.
     """
-    sep = frozenset(separator)
-    outside = [v for v in hypergraph.vertices if v not in sep]
-    if not outside:
-        return []
-    uf = _UnionFind(outside)
-    for edge in hypergraph.edges:
-        free = [v for v in edge.vertices if v not in sep]
-        for i in range(1, len(free)):
-            uf.union(free[0], free[i])
-    comps = [frozenset(group) for group in uf.groups().values()]
-    return sorted(comps, key=lambda c: sorted(map(str, c)))
+    bitsets = hypergraph.bitsets
+    separator_mask = bitsets.indexer.to_mask_clipped(separator)
+    to_frozenset = bitsets.indexer.to_frozenset
+    # Components are disjoint, so ascending mask order (lowest bit first)
+    # already equals the documented sort-by-sorted-strings order.
+    return [to_frozenset(mask) for mask in bitsets.components(separator_mask)]
 
 
 def edge_components(
@@ -78,17 +54,21 @@ def edge_components(
     The components are returned in the same order as the matching vertex
     components.
     """
-    sep = frozenset(separator)
-    vcomps = vertex_components(hypergraph, sep)
-    index: Dict[Vertex, int] = {}
-    for i, comp in enumerate(vcomps):
-        for v in comp:
-            index[v] = i
-    buckets: List[List[Edge]] = [[] for _ in vcomps]
-    for edge in hypergraph.edges:
-        free = next((v for v in edge.vertices if v not in sep), None)
-        if free is not None:
-            buckets[index[free]].append(edge)
+    bitsets = hypergraph.bitsets
+    separator_mask = bitsets.indexer.to_mask_clipped(separator)
+    components = bitsets.components(separator_mask)
+    if not components:
+        return []
+    not_sep = ~separator_mask
+    buckets: List[List[Edge]] = [[] for _ in components]
+    for edge, edge_mask in zip(hypergraph.edges, bitsets.edge_masks):
+        free = edge_mask & not_sep
+        if not free:
+            continue
+        for i, component in enumerate(components):
+            if free & component:
+                buckets[i].append(edge)
+                break
     return [tuple(bucket) for bucket in buckets if bucket]
 
 
@@ -129,9 +109,15 @@ def separates(
     sep = frozenset(separator)
     if u in sep or v in sep:
         return True
-    for comp in vertex_components(hypergraph, sep):
-        if u in comp and v in comp:
-            return False
+    bitsets = hypergraph.bitsets
+    indexer = bitsets.indexer
+    if u not in indexer or v not in indexer:
+        return True
+    u_bit = 1 << indexer.bit(u)
+    v_bit = 1 << indexer.bit(v)
+    for component in bitsets.components(indexer.to_mask_clipped(sep)):
+        if component & u_bit:
+            return not (component & v_bit)
     return True
 
 
@@ -145,15 +131,18 @@ def is_minimal_separator(
     (This is the classical Bouchitté–Todinca characterisation.)
     """
     sep = frozenset(separator)
-    if not sep:
+    if not sep or not sep <= hypergraph.vertices:
         return False
+    bitsets = hypergraph.bitsets
+    separator_mask = bitsets.indexer.to_mask(sep)
+    edge_masks = bitsets.edge_masks
     full = 0
-    for comp in vertex_components(hypergraph, sep):
-        attached = set()
-        for edge in hypergraph.edges:
-            if edge.vertices & comp:
-                attached.update(edge.vertices & sep)
-        if attached == sep:
+    for component in bitsets.components(separator_mask):
+        attached = 0
+        for edge_mask in edge_masks:
+            if edge_mask & component:
+                attached |= edge_mask & separator_mask
+        if attached == separator_mask:
             full += 1
             if full >= 2:
                 return True

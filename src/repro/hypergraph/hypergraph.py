@@ -68,7 +68,7 @@ class Hypergraph:
         require ``self.has_isolated_vertices()`` to be ``False``.
     """
 
-    __slots__ = ("_edges", "_vertices", "_incidence", "_edge_order")
+    __slots__ = ("_edges", "_vertices", "_incidence", "_edge_order", "_bitsets")
 
     def __init__(
         self,
@@ -102,6 +102,7 @@ class Hypergraph:
             for v in e.vertices:
                 incidence[v].append(e)
         self._incidence = {v: tuple(es) for v, es in incidence.items()}
+        self._bitsets = None
 
     # -- basic accessors ---------------------------------------------------
 
@@ -142,6 +143,40 @@ class Hypergraph:
 
     def has_isolated_vertices(self) -> bool:
         return any(len(es) == 0 for es in self._incidence.values())
+
+    # -- bitset kernel -----------------------------------------------------
+
+    @property
+    def bitsets(self) -> "HypergraphBitsets":
+        """The cached mask tables for this hypergraph (built on first use).
+
+        Immutability makes the cache safe: the vertex order, per-edge masks
+        and the [S]-component memo all remain valid for the lifetime of the
+        hypergraph.  Masks are an internal representation — public APIs
+        accept and return frozensets (see :mod:`repro.hypergraph.bitset`).
+        """
+        bitsets = self._bitsets
+        if bitsets is None:
+            from repro.hypergraph.bitset import HypergraphBitsets
+
+            bitsets = HypergraphBitsets(
+                self._vertices,
+                [(name, self._edges[name].vertices) for name in self._edge_order],
+            )
+            self._bitsets = bitsets
+        return bitsets
+
+    def edge_mask(self, name: str) -> int:
+        """The vertex mask of the named edge."""
+        return self.bitsets.edge_mask_by_name[name]
+
+    def vertex_mask(self, vertices: Iterable[Vertex]) -> int:
+        """Encode ``vertices ∩ V(H)`` as a mask (unknown vertices dropped)."""
+        return self.bitsets.indexer.to_mask_clipped(vertices)
+
+    def vertex_set(self, mask: int) -> FrozenSet[Vertex]:
+        """Decode a mask produced by this hypergraph's indexer."""
+        return self.bitsets.indexer.to_frozenset(mask)
 
     # -- derived hypergraphs -----------------------------------------------
 
