@@ -6,9 +6,13 @@ tree decomposition.  This package replaces PostgreSQL with a small, fully
 deterministic relational engine:
 
 * :class:`repro.db.Relation` / :class:`repro.db.Database` — named in-memory
-  relations with hash joins, semi-joins, projections and aggregation, plus
-  operation counters so experiments can report deterministic work measures
-  alongside wall-clock time;
+  relations over dictionary-encoded numpy code columns (the database owns the
+  :class:`repro.db.ValueInterner`), with vectorised joins, semi-joins,
+  projections and aggregation, plus operation counters so experiments can
+  report deterministic work measures alongside wall-clock time; the seed
+  tuple-at-a-time engine survives as :class:`repro.db.ReferenceRelation` in
+  :mod:`repro.db.reference`, the executable spec the columnar kernel is
+  property-tested against;
 * :class:`repro.db.ConjunctiveQuery` — join queries as sets of atoms, with
   hypergraph extraction (every atom becomes a hyperedge named by its alias);
 * :mod:`repro.db.sqlish` — a parser for the simple SELECT/FROM/WHERE equijoin
@@ -22,7 +26,9 @@ deterministic relational engine:
 * :mod:`repro.db.cost` — the two cost functions of Appendix C.2.
 """
 
-from repro.db.relation import Relation
+from repro.db.interner import ValueInterner
+from repro.db.relation import Relation, WorkCounter
+from repro.db.reference import ReferenceRelation, as_reference_database
 from repro.db.database import Database
 from repro.db.query import Atom, ConjunctiveQuery
 from repro.db.sqlish import parse_select_query
@@ -41,6 +47,10 @@ from repro.db.cost import (
 
 __all__ = [
     "Relation",
+    "WorkCounter",
+    "ValueInterner",
+    "ReferenceRelation",
+    "as_reference_database",
     "Database",
     "Atom",
     "ConjunctiveQuery",

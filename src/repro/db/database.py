@@ -1,9 +1,19 @@
-"""A database: a catalogue of named relations plus schema metadata."""
+"""A database: a catalogue of named relations plus schema metadata.
+
+The database owns the :class:`~repro.db.interner.ValueInterner` that
+dictionary-encodes every column of every relation it holds, so all relations
+of one database live in a single code space and the columnar operators can
+join and semi-join raw code arrays.  ``relation_cls`` selects the engine:
+the columnar :class:`repro.db.relation.Relation` by default, or the
+tuple-at-a-time :class:`repro.db.reference.ReferenceRelation` spec (used by
+the equivalence tests and the join benchmark).
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Type
 
+from repro.db.interner import ValueInterner
 from repro.db.relation import Relation
 
 
@@ -16,9 +26,11 @@ class Database:
     are assumed not to reduce the parent).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, relation_cls: Optional[Type] = None) -> None:
         self._relations: Dict[str, Relation] = {}
         self._primary_keys: Dict[str, str] = {}
+        self.relation_cls: Type = relation_cls or Relation
+        self.interner = ValueInterner()
 
     # -- schema management -------------------------------------------------------
 
@@ -27,6 +39,13 @@ class Database:
     ) -> None:
         if relation.name in self._relations:
             raise ValueError(f"relation {relation.name!r} already exists")
+        if (
+            hasattr(relation, "with_interner")
+            and getattr(relation, "interner", None) is not self.interner
+        ):
+            # Re-encode foreign-interner relations into this database's code
+            # space so joins inside the database never need translation.
+            relation = relation.with_interner(self.interner)
         self._relations[relation.name] = relation
         if primary_key is not None:
             if primary_key not in relation.attributes:
@@ -36,6 +55,12 @@ class Database:
                 )
             self._primary_keys[relation.name] = primary_key
 
+    def new_relation(
+        self, name: str, attributes: Sequence[str], rows: Iterable
+    ) -> Relation:
+        """Build (but do not register) a relation in this database's engine."""
+        return self.relation_cls(name, attributes, rows, interner=self.interner)
+
     def create_table(
         self,
         name: str,
@@ -43,7 +68,33 @@ class Database:
         rows: Iterable,
         primary_key: Optional[str] = None,
     ) -> Relation:
-        relation = Relation(name, attributes, rows)
+        relation = self.new_relation(name, attributes, rows)
+        self.add_relation(relation, primary_key=primary_key)
+        return relation
+
+    def create_table_columns(
+        self,
+        name: str,
+        attributes: Sequence[str],
+        columns: Sequence[Sequence],
+        primary_key: Optional[str] = None,
+    ) -> Relation:
+        """Create a table straight from value columns (ingest fast path).
+
+        The columnar engine interns each column in one pass without ever
+        materialising row tuples; engines without a ``from_columns``
+        constructor (the reference spec) get the zipped rows instead.
+        """
+        from_columns = getattr(self.relation_cls, "from_columns", None)
+        if from_columns is not None:
+            relation = from_columns(
+                name, attributes, columns, interner=self.interner
+            )
+        else:
+            rows = list(zip(*columns)) if columns else []
+            relation = self.relation_cls(
+                name, attributes, rows, interner=self.interner
+            )
         self.add_relation(relation, primary_key=primary_key)
         return relation
 

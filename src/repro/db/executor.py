@@ -1,7 +1,10 @@
 """Query executors: decomposition-guided vs. the DBMS-style baseline.
 
 ``DecompositionExecutor`` wraps the Yannakakis machinery of
-:mod:`repro.db.yannakakis` and reports uniform execution metrics.
+:mod:`repro.db.yannakakis` and reports uniform execution metrics.  Both
+executors run on whatever relation engine the database was built with — the
+columnar code-array kernel by default, or the tuple-at-a-time spec of
+:mod:`repro.db.reference` (see ``as_reference_database``).
 
 ``BaselineExecutor`` stands in for "just run the SQL query on PostgreSQL":
 a greedy optimiser picks a join order using the cardinality *estimates* of

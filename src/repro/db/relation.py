@@ -1,20 +1,34 @@
-"""In-memory relations with the operators the executors need.
+"""Columnar in-memory relations with the operators the executors need.
 
-A :class:`Relation` is a named list of tuples over a fixed attribute schema.
-All operators are implemented as hash-based algorithms (hash join, hash
-semi-join) so that execution cost is roughly linear in the sizes of the
-inputs and outputs — the same asymptotics a real DBMS achieves — which keeps
-the *shape* of the experimental results comparable to the paper's PostgreSQL
-numbers.
+A :class:`Relation` stores dictionary-encoded columns: every value is mapped
+to a dense ``int64`` code by a :class:`repro.db.interner.ValueInterner`
+(shared per database) and each attribute is held as a numpy code array.  The
+hot operators run entirely on codes:
 
-Every operator reports the number of tuples it read and wrote to an optional
-:class:`WorkCounter`, giving experiments a deterministic work measure that
-does not depend on the wall clock.
+* **semi-join** — single-key membership via ``np.isin`` when one attribute is
+  shared, packed-key membership otherwise;
+* **projection with dedup** — ``np.unique`` over (packed) key columns,
+  preserving first-occurrence order;
+* **natural join** — build-side stable sort + binary-search grouping, probe
+  expansion with ``np.repeat``/fancy indexing;
+* **MIN/MAX/COUNT aggregates** — ``np.unique`` on codes, decoded once.
+
+The public row-oriented API is unchanged from the seed tuple engine (which
+lives on as the executable spec in :mod:`repro.db.reference`): ``rows`` is
+still a list of value tuples (decoded lazily), all operators report the same
+:class:`WorkCounter` totals, and execution cost stays roughly linear in the
+sizes of the inputs and outputs — the same asymptotics a real DBMS achieves —
+which keeps the *shape* of the experimental results comparable to the
+paper's PostgreSQL numbers.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.db.interner import CODE_DTYPE, ValueInterner
 
 Row = Tuple
 Value = object
@@ -45,31 +59,157 @@ class WorkCounter:
         )
 
 
+def _pack_columns(columns: Sequence[np.ndarray]) -> np.ndarray:
+    """Fold several non-empty code columns into one injective ``int64`` key.
+
+    Each fold first densifies the accumulated key (``np.unique`` ranks keep
+    its magnitude below the row count) and then mixes in the next column, so
+    the product ``rank * (max_code + 1) + code`` can never overflow ``int64``
+    for any realistic interner size.
+    """
+    key = columns[0]
+    for column in columns[1:]:
+        _, key = np.unique(key, return_inverse=True)
+        key = key.astype(CODE_DTYPE) * (int(column.max()) + 1) + column
+    return key
+
+
+def _pack_pair(
+    left: Sequence[np.ndarray], right: Sequence[np.ndarray]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Pack multi-column join keys consistently across two relations.
+
+    The columns are packed *jointly* (concatenated before folding) so equal
+    code tuples on the two sides map to the same packed key.  Both sides
+    must be non-empty.
+    """
+    if len(left) == 1:
+        return left[0], right[0]
+    split = len(left[0])
+    combined = [np.concatenate((l, r)) for l, r in zip(left, right)]
+    key = _pack_columns(combined)
+    return key[:split], key[split:]
+
+
 class Relation:
-    """A named relation: attribute names plus a list of value tuples."""
+    """A named relation: attribute names plus dictionary-encoded columns."""
 
-    __slots__ = ("name", "attributes", "rows")
+    __slots__ = ("name", "attributes", "_interner", "_columns", "_length", "_rows")
 
-    def __init__(self, name: str, attributes: Sequence[str], rows: Iterable[Row]):
+    def __init__(
+        self,
+        name: str,
+        attributes: Sequence[str],
+        rows: Iterable[Row],
+        interner: Optional[ValueInterner] = None,
+    ):
         self.name = name
         self.attributes: Tuple[str, ...] = tuple(attributes)
-        if len(set(self.attributes)) != len(self.attributes):
-            raise ValueError(f"duplicate attribute names in relation {name!r}")
-        self.rows: List[Row] = [tuple(row) for row in rows]
-        for row in self.rows:
-            if len(row) != len(self.attributes):
+        self._check_attributes()
+        self._interner = interner if interner is not None else ValueInterner()
+        materialized: List[Row] = [tuple(row) for row in rows]
+        arity = len(self.attributes)
+        for row in materialized:
+            if len(row) != arity:
                 raise ValueError(
                     f"row arity {len(row)} does not match schema arity "
-                    f"{len(self.attributes)} in relation {name!r}"
+                    f"{arity} in relation {name!r}"
                 )
+        code = self._interner.code
+        self._columns: Tuple[np.ndarray, ...] = tuple(
+            np.fromiter(
+                (code(row[i]) for row in materialized),
+                dtype=CODE_DTYPE,
+                count=len(materialized),
+            )
+            for i in range(arity)
+        )
+        self._length = len(materialized)
+        self._rows: Optional[List[Row]] = materialized
+
+    # -- alternative constructors ------------------------------------------------
+
+    @classmethod
+    def from_columns(
+        cls,
+        name: str,
+        attributes: Sequence[str],
+        columns: Sequence[Sequence[Value]],
+        interner: Optional[ValueInterner] = None,
+    ) -> "Relation":
+        """Build a relation straight from value columns (no row tuples).
+
+        This is the ingest fast path the workload generators use: each column
+        is interned in one pass and never materialised as Python row tuples
+        unless ``rows`` is later asked for.
+        """
+        if len(columns) != len(attributes):
+            raise ValueError(
+                f"{len(columns)} columns do not match schema arity "
+                f"{len(attributes)} in relation {name!r}"
+            )
+        lengths = {len(column) for column in columns}
+        if len(lengths) > 1:
+            raise ValueError(f"ragged columns in relation {name!r}: lengths {lengths}")
+        interner = interner if interner is not None else ValueInterner()
+        encoded = tuple(interner.encode_column(column) for column in columns)
+        length = lengths.pop() if lengths else 0
+        return cls._from_codes(name, attributes, encoded, length, interner)
+
+    @classmethod
+    def _from_codes(
+        cls,
+        name: str,
+        attributes: Sequence[str],
+        columns: Sequence[np.ndarray],
+        length: int,
+        interner: ValueInterner,
+    ) -> "Relation":
+        """Trusted internal constructor from already-encoded columns."""
+        relation = cls.__new__(cls)
+        relation.name = name
+        relation.attributes = tuple(attributes)
+        relation._check_attributes()
+        relation._interner = interner
+        relation._columns = tuple(columns)
+        relation._length = length
+        relation._rows = None
+        return relation
+
+    def _check_attributes(self) -> None:
+        if len(set(self.attributes)) != len(self.attributes):
+            raise ValueError(f"duplicate attribute names in relation {self.name!r}")
 
     # -- basics -----------------------------------------------------------------
 
+    @property
+    def rows(self) -> List[Row]:
+        """The rows as value tuples, decoded from the code columns on demand."""
+        if self._rows is None:
+            if not self._columns:
+                self._rows = [()] * self._length
+            elif self._length == 0:
+                self._rows = []
+            else:
+                decoded = [
+                    self._interner.decode_column(column) for column in self._columns
+                ]
+                self._rows = list(zip(*decoded))
+        return self._rows
+
+    @property
+    def interner(self) -> ValueInterner:
+        return self._interner
+
+    def codes(self, attribute: str) -> np.ndarray:
+        """The raw code column of an attribute (kernel-internal view)."""
+        return self._columns[self.attribute_index(attribute)]
+
     def __len__(self) -> int:
-        return len(self.rows)
+        return self._length
 
     def cardinality(self) -> int:
-        return len(self.rows)
+        return self._length
 
     def attribute_index(self, attribute: str) -> int:
         try:
@@ -80,50 +220,107 @@ class Relation:
             ) from exc
 
     def column(self, attribute: str) -> List[Value]:
-        index = self.attribute_index(attribute)
-        return [row[index] for row in self.rows]
+        return self._interner.decode_column(
+            self._columns[self.attribute_index(attribute)]
+        )
 
     def distinct_count(self, attribute: str) -> int:
-        index = self.attribute_index(attribute)
-        return len({row[index] for row in self.rows})
+        return len(np.unique(self._columns[self.attribute_index(attribute)]))
+
+    def distinct_counts(self) -> Dict[str, int]:
+        """Per-attribute distinct counts, one vectorised pass per column."""
+        return {
+            attribute: len(np.unique(column))
+            for attribute, column in zip(self.attributes, self._columns)
+        }
+
+    def with_interner(self, interner: ValueInterner) -> "Relation":
+        """This relation re-encoded against another interner."""
+        if interner is self._interner:
+            return self
+        columns = self._interner.translate(self._columns, interner)
+        return Relation._from_codes(
+            self.name, self.attributes, columns, self._length, interner
+        )
 
     def rename(self, new_name: str, mapping: Optional[Dict[str, str]] = None) -> "Relation":
         """A renamed copy; ``mapping`` renames individual attributes."""
         mapping = mapping or {}
         attributes = [mapping.get(a, a) for a in self.attributes]
-        return Relation(new_name, attributes, self.rows)
+        renamed = Relation._from_codes(
+            new_name, attributes, self._columns, self._length, self._interner
+        )
+        renamed._rows = self._rows
+        return renamed
 
     # -- unary operators ------------------------------------------------------------
+
+    def _take(self, name: str, indices: np.ndarray) -> "Relation":
+        """A relation holding the rows of ``self`` at ``indices`` (in order)."""
+        return Relation._from_codes(
+            name,
+            self.attributes,
+            tuple(column[indices] for column in self._columns),
+            len(indices),
+            self._interner,
+        )
 
     def project(
         self, attributes: Sequence[str], counter: Optional[WorkCounter] = None
     ) -> "Relation":
         """Duplicate-eliminating projection onto the given attributes."""
         indices = [self.attribute_index(a) for a in attributes]
-        seen = set()
-        rows = []
-        for row in self.rows:
-            projected = tuple(row[i] for i in indices)
-            if projected not in seen:
-                seen.add(projected)
-                rows.append(projected)
+        columns = [self._columns[i] for i in indices]
+        name = f"π({self.name})"
+        if self._length == 0:
+            result = Relation._from_codes(
+                name,
+                attributes,
+                tuple(np.empty(0, dtype=CODE_DTYPE) for _ in indices),
+                0,
+                self._interner,
+            )
+        elif not columns:
+            # Zero-arity projection of a non-empty relation: the single empty
+            # tuple (the relational "true").
+            result = Relation._from_codes(name, attributes, (), 1, self._interner)
+        else:
+            key = _pack_columns(columns)
+            _, first = np.unique(key, return_index=True)
+            first.sort()  # keep first-occurrence order, like the spec
+            result = Relation._from_codes(
+                name,
+                attributes,
+                tuple(column[first] for column in columns),
+                len(first),
+                self._interner,
+            )
         if counter is not None:
-            counter.record(len(self.rows), len(rows))
-        return Relation(f"π({self.name})", attributes, rows)
+            counter.record(self._length, len(result))
+        return result
 
     def select(
         self, predicate: Callable[[Dict[str, Value]], bool],
         counter: Optional[WorkCounter] = None,
     ) -> "Relation":
         """Filter rows by a predicate over attribute-name dictionaries."""
-        rows = []
-        for row in self.rows:
-            binding = dict(zip(self.attributes, row))
-            if predicate(binding):
-                rows.append(row)
+        attributes = self.attributes
+        keep = [
+            i
+            for i, row in enumerate(self.rows)
+            if predicate(dict(zip(attributes, row)))
+        ]
+        indices = np.asarray(keep, dtype=CODE_DTYPE)
+        result = Relation._from_codes(
+            f"σ({self.name})",
+            attributes,
+            tuple(column[indices] for column in self._columns),
+            len(keep),
+            self._interner,
+        )
         if counter is not None:
-            counter.record(len(self.rows), len(rows))
-        return Relation(f"σ({self.name})", self.attributes, rows)
+            counter.record(self._length, len(keep))
+        return result
 
     def distinct(self, counter: Optional[WorkCounter] = None) -> "Relation":
         return self.project(self.attributes, counter=counter)
@@ -133,78 +330,110 @@ class Relation:
     def _shared_attributes(self, other: "Relation") -> List[str]:
         return [a for a in self.attributes if a in other.attributes]
 
+    def _key_columns(self, other: "Relation", shared: Sequence[str]):
+        own = [self._columns[self.attribute_index(a)] for a in shared]
+        theirs = [other._columns[other.attribute_index(a)] for a in shared]
+        return own, theirs
+
     def natural_join(
         self, other: "Relation", counter: Optional[WorkCounter] = None
     ) -> "Relation":
-        """Hash-based natural join on all shared attribute names.
+        """Code-level natural join on all shared attribute names.
 
         With no shared attributes this degenerates to the Cartesian product,
         exactly the situation the ConCov constraint is designed to avoid.
         """
+        other = other.with_interner(self._interner)
         shared = self._shared_attributes(other)
-        own_indices = [self.attribute_index(a) for a in shared]
-        other_indices = [other.attribute_index(a) for a in shared]
-        other_extra = [
-            i for i, a in enumerate(other.attributes) if a not in shared
-        ]
+        other_extra = [i for i, a in enumerate(other.attributes) if a not in shared]
         attributes = list(self.attributes) + [other.attributes[i] for i in other_extra]
-        # Build the hash table on the smaller input.
-        build_on_other = len(other.rows) <= len(self.rows)
-        rows: List[Row] = []
-        if build_on_other:
-            table: Dict[Row, List[Row]] = {}
-            for row in other.rows:
-                key = tuple(row[i] for i in other_indices)
-                table.setdefault(key, []).append(row)
-            for row in self.rows:
-                key = tuple(row[i] for i in own_indices)
-                for match in table.get(key, ()):
-                    rows.append(tuple(row) + tuple(match[i] for i in other_extra))
+        name = f"({self.name}⋈{other.name})"
+        read = self._length + other._length
+        if self._length == 0 or other._length == 0:
+            empty = np.empty(0, dtype=CODE_DTYPE)
+            if counter is not None:
+                counter.record(read, 0)
+            return Relation._from_codes(
+                name, attributes, tuple(empty for _ in attributes), 0, self._interner
+            )
+        if not shared:
+            left_index = np.repeat(
+                np.arange(self._length, dtype=CODE_DTYPE), other._length
+            )
+            right_index = np.tile(
+                np.arange(other._length, dtype=CODE_DTYPE), self._length
+            )
         else:
-            table = {}
-            for row in self.rows:
-                key = tuple(row[i] for i in own_indices)
-                table.setdefault(key, []).append(row)
-            for row in other.rows:
-                key = tuple(row[i] for i in other_indices)
-                extra = tuple(row[i] for i in other_extra)
-                for match in table.get(key, ()):
-                    rows.append(tuple(match) + extra)
+            own_keys, other_keys = self._key_columns(other, shared)
+            left_key, right_key = _pack_pair(own_keys, other_keys)
+            # Group the build side by key with a stable sort, then expand
+            # every probe row by its matching group via searchsorted ranges.
+            order = np.argsort(right_key, kind="stable")
+            right_sorted = right_key[order]
+            lo = np.searchsorted(right_sorted, left_key, side="left")
+            hi = np.searchsorted(right_sorted, left_key, side="right")
+            matches = hi - lo
+            total = int(matches.sum())
+            left_index = np.repeat(
+                np.arange(self._length, dtype=CODE_DTYPE), matches
+            )
+            if total:
+                group_starts = np.cumsum(matches) - matches
+                within = np.arange(total, dtype=CODE_DTYPE) - np.repeat(
+                    group_starts, matches
+                )
+                right_index = order[np.repeat(lo, matches) + within]
+            else:
+                right_index = np.empty(0, dtype=CODE_DTYPE)
+        columns = [column[left_index] for column in self._columns]
+        columns.extend(other._columns[i][right_index] for i in other_extra)
         if counter is not None:
-            counter.record(len(self.rows) + len(other.rows), len(rows))
-        return Relation(f"({self.name}⋈{other.name})", attributes, rows)
+            counter.record(read, len(left_index))
+        return Relation._from_codes(
+            name, attributes, tuple(columns), len(left_index), self._interner
+        )
 
     def semijoin(
         self, other: "Relation", counter: Optional[WorkCounter] = None
     ) -> "Relation":
         """Keep the rows of ``self`` that join with at least one row of ``other``."""
+        other = other.with_interner(self._interner)
         shared = self._shared_attributes(other)
+        name = f"({self.name}⋉{other.name})"
+        read = self._length + other._length
         if not shared:
             # Semi-join with no shared attributes keeps everything unless the
             # other side is empty (PostgreSQL behaves the same way).
-            rows = list(self.rows) if other.rows else []
+            if other._length:
+                result = self._take(name, np.arange(self._length, dtype=CODE_DTYPE))
+            else:
+                result = self._take(name, np.empty(0, dtype=CODE_DTYPE))
             if counter is not None:
-                counter.record(len(self.rows) + len(other.rows), len(rows))
-            return Relation(f"({self.name}⋉{other.name})", self.attributes, rows)
-        own_indices = [self.attribute_index(a) for a in shared]
-        other_indices = [other.attribute_index(a) for a in shared]
-        keys = {tuple(row[i] for i in other_indices) for row in other.rows}
-        rows = [
-            row for row in self.rows if tuple(row[i] for i in own_indices) in keys
-        ]
+                counter.record(read, len(result))
+            return result
+        if self._length == 0 or other._length == 0:
+            result = self._take(name, np.empty(0, dtype=CODE_DTYPE))
+            if counter is not None:
+                counter.record(read, 0)
+            return result
+        own_keys, other_keys = self._key_columns(other, shared)
+        left_key, right_key = _pack_pair(own_keys, other_keys)
+        keep = np.flatnonzero(np.isin(left_key, right_key))
+        result = self._take(name, keep)
         if counter is not None:
-            counter.record(len(self.rows) + len(other.rows), len(rows))
-        return Relation(f"({self.name}⋉{other.name})", self.attributes, rows)
+            counter.record(read, len(keep))
+        return result
 
     # -- aggregation -------------------------------------------------------------------
 
     def aggregate(self, function: str, attribute: str) -> Optional[Value]:
         """``MIN``/``MAX``/``COUNT`` over a column (``None`` on empty input)."""
         if function.upper() == "COUNT":
-            return len(self.rows)
-        if not self.rows:
+            return self._length
+        if not self._length:
             return None
-        values = self.column(attribute)
+        codes = np.unique(self._columns[self.attribute_index(attribute)])
+        values = self._interner.decode_column(codes)
         if function.upper() == "MIN":
             return min(values)
         if function.upper() == "MAX":
@@ -212,4 +441,4 @@ class Relation:
         raise ValueError(f"unsupported aggregate {function!r}")
 
     def __repr__(self) -> str:
-        return f"Relation({self.name!r}, |rows|={len(self.rows)}, attrs={self.attributes})"
+        return f"Relation({self.name!r}, |rows|={self._length}, attrs={self.attributes})"

@@ -109,6 +109,7 @@ class YannakakisExecutor:
         self.max_cover_size = max_cover_size
         self.prefer_connected = prefer_connected
         self._atom_relations: Dict[str, Relation] = {}
+        self._cover_cache: Dict[Bag, Tuple[str, ...]] = {}
 
     def _atom_relation(self, alias: str) -> Relation:
         if alias not in self._atom_relations:
@@ -119,6 +120,27 @@ class YannakakisExecutor:
 
     # -- planning -----------------------------------------------------------------
 
+    def _choose_cover(self, bag: Bag) -> List[str]:
+        """A λ-cover for ``bag``, memoised per bag.
+
+        Bags repeat across nodes in real decompositions (and across the many
+        decompositions one executor ranks), and ``connected_covers``
+        re-enumerates from scratch on every call — so the cache turns repeat
+        planning into a dict lookup.
+        """
+        cover = self._cover_cache.get(bag)
+        if cover is None:
+            cover = tuple(
+                choose_cover(
+                    self.hypergraph,
+                    bag,
+                    max_size=self.max_cover_size,
+                    prefer_connected=self.prefer_connected,
+                )
+            )
+            self._cover_cache[bag] = cover
+        return list(cover)
+
     def plan(self, decomposition: TreeDecomposition) -> List[NodePlan]:
         """Assign covers and atom enforcement to decomposition nodes."""
         nodes = decomposition.tree.nodes()
@@ -126,12 +148,7 @@ class YannakakisExecutor:
             NodePlan(
                 node=node,
                 bag=decomposition.bag(node),
-                cover=choose_cover(
-                    self.hypergraph,
-                    decomposition.bag(node),
-                    max_size=self.max_cover_size,
-                    prefer_connected=self.prefer_connected,
-                ),
+                cover=self._choose_cover(decomposition.bag(node)),
             )
             for node in nodes
         ]
@@ -149,8 +166,10 @@ class YannakakisExecutor:
                     f"decomposition does not cover atom {alias!r}; not a valid TD "
                     "of the query hypergraph"
                 )
-            already_joined = alias in target.cover and variables <= target.bag
-            if not already_joined or alias not in target.cover:
+            # The target bag already contains all atom variables, so the atom
+            # is satisfied by the local join exactly when it is part of the
+            # cover; anything else must be enforced with a semi-join.
+            if alias not in target.cover:
                 target.enforced_atoms.append(alias)
         return plans
 
@@ -228,7 +247,11 @@ class YannakakisExecutor:
     def _materialize_bag(self, plan: NodePlan, counter: WorkCounter) -> Relation:
         bag_attributes = sorted(map(str, plan.bag))
         if not plan.cover:
-            return Relation(f"J{plan.node.node_id}", bag_attributes, [()] if not bag_attributes else [])
+            return self.database.new_relation(
+                f"J{plan.node.node_id}",
+                bag_attributes,
+                [()] if not bag_attributes else [],
+            )
         relation = self._atom_relation(plan.cover[0])
         for alias in plan.cover[1:]:
             relation = relation.natural_join(self._atom_relation(alias), counter)

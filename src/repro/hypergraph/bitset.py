@@ -65,22 +65,57 @@ def iter_bits(mask: int) -> Iterator[int]:
         mask ^= low
 
 
+def _masks_to_limbs(masks: Sequence[int], limbs: int) -> "_np.ndarray":
+    """Decompose big-int masks into an ``(n, limbs)`` uint64 array.
+
+    Limb ``j`` of row ``i`` holds bits ``64*j .. 64*j+63`` of ``masks[i]``.
+    """
+    word = (1 << 64) - 1
+    array = _np.empty((len(masks), limbs), dtype=_np.uint64)
+    for i, mask in enumerate(masks):
+        for j in range(limbs):
+            array[i, j] = (mask >> (64 * j)) & word
+    return array
+
+
+def _pairwise_and_limbs(
+    left: Sequence[int], right: Sequence[int], limbs: int
+) -> "set[int]":
+    """Chunked numpy outer AND over the n-limb layout (> 64-vertex graphs)."""
+    left_arr = _masks_to_limbs(left, limbs)
+    right_arr = _masks_to_limbs(right, limbs)
+    result: set = set()
+    # Chunk the outer product so memory stays bounded (~8 MB per chunk).
+    chunk = max(1, (1 << 20) // max(1, len(right) * limbs))
+    for start in range(0, len(left_arr), chunk):
+        block = left_arr[start : start + chunk, None, :] & right_arr[None, :, :]
+        flat = block.reshape(-1, limbs)
+        nonzero = flat[flat.any(axis=1)]
+        for row in _np.unique(nonzero, axis=0):
+            mask = 0
+            for j in range(limbs - 1, -1, -1):
+                mask = (mask << 64) | int(row[j])
+            result.add(mask)
+    return result
+
+
 def pairwise_and_masks(left: Sequence[int], right: Sequence[int]) -> "set[int]":
     """The set of non-zero pairwise ANDs ``{a & b | a ∈ left, b ∈ right}``.
 
     This is the inner product of candidate-bag generation (``⋃λ1 ∩ ⋃C`` over
-    all unions and components).  When every mask fits in 64 bits the product
-    is computed with a chunked numpy outer AND; otherwise a plain double
-    loop over Python ints is used.
+    all unions and components).  At volume the product is computed with a
+    chunked numpy outer AND: single uint64 words when every mask fits in 64
+    bits, an n-limb ``(n, ⌈bits/64⌉)`` uint64 layout for larger vertex sets
+    (LSQB/Hetionet-sized hypergraphs), so the big-int double loop is only
+    ever used for small inputs or when numpy is unavailable.
     """
     if not left or not right:
         return set()
-    if (
-        _np is not None
-        and len(left) * len(right) >= 16384  # numpy wins only at volume
-        and max(left) < (1 << 64)
-        and max(right) < (1 << 64)
-    ):
+    if _np is not None and len(left) * len(right) >= 16384:  # numpy wins only at volume
+        bits = max(max(left).bit_length(), max(right).bit_length())
+        limbs = max(1, (bits + 63) // 64)
+        if limbs > 1:
+            return _pairwise_and_limbs(left, right, limbs)
         left_arr = _np.fromiter(left, dtype=_np.uint64, count=len(left))
         right_arr = _np.fromiter(right, dtype=_np.uint64, count=len(right))
         result: set = set()

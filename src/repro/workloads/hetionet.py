@@ -99,7 +99,8 @@ def build_hetionet_database(
     database = Database()
     for table in EDGE_TABLES:
         rows = _skewed_edges(rng, num_nodes, edges_per_table)
-        database.create_table(table, ["s", "d"], rows)
+        columns = [list(column) for column in zip(*rows)] if rows else [[], []]
+        database.create_table_columns(table, ["s", "d"], columns)
     return database
 
 

@@ -44,16 +44,22 @@ def build_lsqb_database(scale: float = 1.0, seed: Optional[int] = 23) -> Databas
     num_knows = max(40, int(2200 * scale))
 
     database = Database()
-    database.create_table(
+    database.create_table_columns(
         "City",
         ["CityId", "isPartOf_CountryId"],
-        [(city, rng.randrange(num_countries)) for city in range(num_cities)],
+        [
+            list(range(num_cities)),
+            [rng.randrange(num_countries) for _ in range(num_cities)],
+        ],
         primary_key="CityId",
     )
-    database.create_table(
+    database.create_table_columns(
         "Person",
         ["PersonId", "isLocatedIn_CityId"],
-        [(person, rng.randrange(num_cities)) for person in range(num_persons)],
+        [
+            list(range(num_persons)),
+            [rng.randrange(num_cities) for _ in range(num_persons)],
+        ],
         primary_key="PersonId",
     )
     knows = set()
@@ -64,8 +70,11 @@ def build_lsqb_database(scale: float = 1.0, seed: Optional[int] = 23) -> Databas
         b = rng.randrange(num_persons)
         if a != b:
             knows.add((a, b))
-    database.create_table(
-        "Person_knows_Person", ["Person1Id", "Person2Id"], sorted(knows)
+    edges = sorted(knows)
+    database.create_table_columns(
+        "Person_knows_Person",
+        ["Person1Id", "Person2Id"],
+        [[a for a, _ in edges], [b for _, b in edges]],
     )
     return database
 

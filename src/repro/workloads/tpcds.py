@@ -53,57 +53,63 @@ def build_tpcds_database(
     num_web_sales = max(20, int(900 * scale))
     num_catalog_sales = max(20, int(900 * scale))
 
-    database.create_table(
+    database.create_table_columns(
         "customer_address",
         ["ca_address_sk"],
-        [(address,) for address in range(num_addresses)],
+        [list(range(num_addresses))],
         primary_key="ca_address_sk",
     )
-    database.create_table(
+    database.create_table_columns(
         "customer",
         ["c_customer_sk", "c_current_addr_sk"],
         [
-            (customer, rng.randrange(num_addresses))
-            for customer in range(num_customers)
+            list(range(num_customers)),
+            [rng.randrange(num_addresses) for _ in range(num_customers)],
         ],
         primary_key="c_customer_sk",
     )
     # Warehouses have skewed square footage: a handful of popular values
     # dominate, so the non-key join against ws_quantity fans out strongly and
     # the optimiser's independence-based estimate is far too low.
-    warehouse_rows = []
+    warehouse_sks: list = []
+    warehouse_sq_ft: list = []
     for warehouse in range(num_warehouses):
         if rng.random() < 0.6:
             square_feet = rng.randrange(1, 5)
         else:
             square_feet = rng.randrange(1, quantity_domain + 1)
-        warehouse_rows.append((warehouse, square_feet))
-    database.create_table(
+        warehouse_sks.append(warehouse)
+        warehouse_sq_ft.append(square_feet)
+    database.create_table_columns(
         "warehouse",
         ["w_warehouse_sk", "w_warehouse_sq_ft"],
-        warehouse_rows,
+        [warehouse_sks, warehouse_sq_ft],
         primary_key="w_warehouse_sk",
     )
     # Web sales reference customers (foreign key) but have a skewed quantity
     # column matching the warehouse skew.
-    web_sales_rows = []
+    ws_customers: list = []
+    ws_quantities: list = []
     for _ in range(num_web_sales):
-        customer = rng.randrange(num_customers)
+        ws_customers.append(rng.randrange(num_customers))
         if rng.random() < 0.6:
-            quantity = rng.randrange(1, 5)
+            ws_quantities.append(rng.randrange(1, 5))
         else:
-            quantity = rng.randrange(1, quantity_domain + 1)
-        web_sales_rows.append((customer, quantity))
-    database.create_table(
-        "web_sales", ["ws_bill_customer_sk", "ws_quantity"], web_sales_rows
+            ws_quantities.append(rng.randrange(1, quantity_domain + 1))
+    database.create_table_columns(
+        "web_sales",
+        ["ws_bill_customer_sk", "ws_quantity"],
+        [ws_customers, ws_quantities],
     )
-    catalog_sales_rows = []
+    cs_addresses: list = []
+    cs_warehouses: list = []
     for _ in range(num_catalog_sales):
-        address = rng.randrange(num_addresses)
-        warehouse = rng.randrange(num_warehouses)
-        catalog_sales_rows.append((address, warehouse))
-    database.create_table(
-        "catalog_sales", ["cs_bill_addr_sk", "cs_warehouse_sk"], catalog_sales_rows
+        cs_addresses.append(rng.randrange(num_addresses))
+        cs_warehouses.append(rng.randrange(num_warehouses))
+    database.create_table_columns(
+        "catalog_sales",
+        ["cs_bill_addr_sk", "cs_warehouse_sk"],
+        [cs_addresses, cs_warehouses],
     )
     return database
 

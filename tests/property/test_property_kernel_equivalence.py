@@ -25,7 +25,12 @@ from repro.core.reference import (
     reference_soft_candidate_bags,
     reference_vertex_components,
 )
-from repro.hypergraph.bitset import VertexIndexer, iter_bits, popcount
+from repro.hypergraph.bitset import (
+    VertexIndexer,
+    iter_bits,
+    pairwise_and_masks,
+    popcount,
+)
 from repro.hypergraph.components import edge_components, vertex_components
 from repro.hypergraph.generators import random_hypergraph
 from repro.hypergraph.hypergraph import Hypergraph
@@ -102,6 +107,29 @@ class TestIndexerRoundTrip:
         indexer = VertexIndexer(["b", "a", "c"])
         assert list(indexer) == ["a", "b", "c"]
         assert indexer.universe == 0b111
+
+
+class TestPairwiseAndMasks:
+    """All three pairwise-AND paths (python loop, uint64, n-limb) agree."""
+
+    @pytest.mark.parametrize("bits", [40, 64, 150, 300])
+    def test_volume_paths_match_brute_force(self, bits):
+        # 160 × 120 = 19200 pairs clears the numpy-volume threshold, so ≤64
+        # bits exercises the single-word path and >64 bits the n-limb layout.
+        rng = random.Random(f"pam-{bits}")
+        left = [rng.getrandbits(bits) for _ in range(160)]
+        right = [rng.getrandbits(bits) for _ in range(120)]
+        expected = {a & b for a in left for b in right} - {0}
+        assert pairwise_and_masks(left, right) == expected
+
+    def test_small_inputs_use_python_loop(self):
+        rng = random.Random("pam-small")
+        left = [rng.getrandbits(90) for _ in range(7)]
+        right = [rng.getrandbits(90) for _ in range(5)]
+        expected = {a & b for a in left for b in right} - {0}
+        assert pairwise_and_masks(left, right) == expected
+        assert pairwise_and_masks([], right) == set()
+        assert pairwise_and_masks(left, []) == set()
 
 
 class TestComponentEquivalence:

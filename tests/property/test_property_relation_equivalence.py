@@ -1,0 +1,363 @@
+"""Equivalence of the columnar relation engine with the tuple-engine spec.
+
+The columnar kernel (:mod:`repro.db.relation`: dictionary-encoded numpy code
+columns, ``np.unique`` dedup, packed-key semi-joins, sort/searchsorted join
+expansion) must be *observationally identical* to the seed tuple-at-a-time
+engine preserved in :mod:`repro.db.reference`: identical row sets, identical
+:class:`WorkCounter` totals (reads, writes and operation counts), identical
+aggregates, and identical end-to-end Yannakakis runs.  These tests drive
+both engines over a seeded grid of random relations, databases and queries
+(deterministic, unlike hypothesis's example database), with empty relations,
+empty bags and zero-arity relations included explicitly.
+"""
+
+import random
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.query import Atom, ConjunctiveQuery
+from repro.db.reference import ReferenceRelation, as_reference_database
+from repro.db.relation import Relation, WorkCounter
+from repro.db.stats import CardinalityEstimator
+from repro.db.yannakakis import YannakakisExecutor
+from repro.decompositions.td import TreeDecomposition
+
+ATTRS = ("a", "b", "c", "d")
+
+
+def _random_relation_data(rng, min_arity=1, max_arity=3, domain=6, max_rows=30):
+    """A random schema over a shared attribute pool plus random rows."""
+    arity = rng.randint(min_arity, max_arity)
+    attributes = rng.sample(ATTRS, arity)
+    num_rows = rng.choice([0, 1, rng.randint(2, max_rows)])
+    rows = [
+        tuple(rng.randrange(domain) for _ in range(arity)) for _ in range(num_rows)
+    ]
+    return attributes, rows
+
+
+def _pair(name, attributes, rows):
+    """The same data on both engines (independent interner for the columnar)."""
+    return Relation(name, attributes, rows), ReferenceRelation(name, attributes, rows)
+
+
+def _assert_same_relation(columnar, reference):
+    assert tuple(columnar.attributes) == tuple(reference.attributes)
+    assert len(columnar) == len(reference)
+    assert sorted(columnar.rows) == sorted(reference.rows)
+
+
+def _assert_same_counter(columnar_counter, reference_counter):
+    assert (
+        columnar_counter.tuples_read,
+        columnar_counter.tuples_written,
+        columnar_counter.operations,
+    ) == (
+        reference_counter.tuples_read,
+        reference_counter.tuples_written,
+        reference_counter.operations,
+    )
+
+
+SEEDS = list(range(12))
+
+
+class TestOperatorEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_project_matches_reference(self, seed):
+        rng = random.Random(f"proj-{seed}")
+        attributes, rows = _random_relation_data(rng)
+        columnar, reference = _pair("R", attributes, rows)
+        for _ in range(4):
+            subset = rng.sample(attributes, rng.randint(0, len(attributes)))
+            cc, rc = WorkCounter(), WorkCounter()
+            _assert_same_relation(
+                columnar.project(subset, counter=cc),
+                reference.project(subset, counter=rc),
+            )
+            _assert_same_counter(cc, rc)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_project_preserves_first_occurrence_order(self, seed):
+        rng = random.Random(f"projord-{seed}")
+        attributes, rows = _random_relation_data(rng, domain=3)
+        columnar, reference = _pair("R", attributes, rows)
+        subset = rng.sample(attributes, rng.randint(1, len(attributes)))
+        # Not just the same set: the same first-occurrence row order.
+        assert columnar.project(subset).rows == reference.project(subset).rows
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_semijoin_matches_reference(self, seed):
+        rng = random.Random(f"semi-{seed}")
+        left_attrs, left_rows = _random_relation_data(rng)
+        right_attrs, right_rows = _random_relation_data(rng)
+        left_c, left_r = _pair("L", left_attrs, left_rows)
+        right_c, right_r = _pair("R", right_attrs, right_rows)
+        cc, rc = WorkCounter(), WorkCounter()
+        _assert_same_relation(
+            left_c.semijoin(right_c, counter=cc),
+            left_r.semijoin(right_r, counter=rc),
+        )
+        _assert_same_counter(cc, rc)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_natural_join_matches_reference(self, seed):
+        rng = random.Random(f"join-{seed}")
+        left_attrs, left_rows = _random_relation_data(rng)
+        right_attrs, right_rows = _random_relation_data(rng)
+        left_c, left_r = _pair("L", left_attrs, left_rows)
+        right_c, right_r = _pair("R", right_attrs, right_rows)
+        cc, rc = WorkCounter(), WorkCounter()
+        _assert_same_relation(
+            left_c.natural_join(right_c, counter=cc),
+            left_r.natural_join(right_r, counter=rc),
+        )
+        _assert_same_counter(cc, rc)
+
+    @pytest.mark.parametrize("seed", SEEDS[:6])
+    def test_select_rename_and_basics_match_reference(self, seed):
+        rng = random.Random(f"misc-{seed}")
+        attributes, rows = _random_relation_data(rng)
+        columnar, reference = _pair("R", attributes, rows)
+        pivot = attributes[0]
+        cc, rc = WorkCounter(), WorkCounter()
+        _assert_same_relation(
+            columnar.select(lambda b: b[pivot] % 2 == 0, counter=cc),
+            reference.select(lambda b: b[pivot] % 2 == 0, counter=rc),
+        )
+        _assert_same_counter(cc, rc)
+        mapping = {pivot: "renamed"}
+        assert (
+            columnar.rename("R2", mapping).rows == reference.rename("R2", mapping).rows
+        )
+        for attribute in attributes:
+            assert columnar.column(attribute) == reference.column(attribute)
+            assert columnar.distinct_count(attribute) == reference.distinct_count(
+                attribute
+            )
+        assert columnar.distinct_counts() == reference.distinct_counts()
+
+    @pytest.mark.parametrize("seed", SEEDS[:6])
+    def test_aggregates_match_reference(self, seed):
+        rng = random.Random(f"agg-{seed}")
+        attributes, rows = _random_relation_data(rng)
+        columnar, reference = _pair("R", attributes, rows)
+        for attribute in attributes:
+            for function in ("MIN", "MAX", "COUNT"):
+                assert columnar.aggregate(function, attribute) == reference.aggregate(
+                    function, attribute
+                ), (function, attribute)
+
+    def test_mixed_type_columns_match_reference(self):
+        rows = [(1, "x"), (2, "y"), (1, "x"), (3, "z"), (2, "w")]
+        columnar, reference = _pair("M", ["n", "s"], rows)
+        _assert_same_relation(columnar.project(["s"]), reference.project(["s"]))
+        assert columnar.aggregate("MIN", "s") == reference.aggregate("MIN", "s")
+        assert columnar.aggregate("MAX", "n") == reference.aggregate("MAX", "n")
+        other_c, other_r = _pair("O", ["s"], [("x",), ("z",), ("q",)])
+        _assert_same_relation(
+            columnar.semijoin(other_c), reference.semijoin(other_r)
+        )
+
+
+class TestEdgeCaseEquivalence:
+    def test_empty_relations_through_all_operators(self):
+        empty_c, empty_r = _pair("E", ["a", "b"], [])
+        full_c, full_r = _pair("F", ["b", "c"], [(1, 2), (2, 3)])
+        for cols in (["a"], ["a", "b"], []):
+            cc, rc = WorkCounter(), WorkCounter()
+            _assert_same_relation(
+                empty_c.project(cols, counter=cc), empty_r.project(cols, counter=rc)
+            )
+            _assert_same_counter(cc, rc)
+        for left, right in (
+            (empty_c, full_c),
+            (full_c, empty_c),
+            (empty_c, empty_c),
+        ):
+            ref_left = {id(empty_c): empty_r, id(full_c): full_r}[id(left)]
+            ref_right = {id(empty_c): empty_r, id(full_c): full_r}[id(right)]
+            cc, rc = WorkCounter(), WorkCounter()
+            _assert_same_relation(
+                left.natural_join(right, counter=cc),
+                ref_left.natural_join(ref_right, counter=rc),
+            )
+            _assert_same_counter(cc, rc)
+            cc, rc = WorkCounter(), WorkCounter()
+            _assert_same_relation(
+                left.semijoin(right, counter=cc),
+                ref_left.semijoin(ref_right, counter=rc),
+            )
+            _assert_same_counter(cc, rc)
+        assert empty_c.aggregate("MIN", "a") is None
+        assert empty_c.aggregate("COUNT", "a") == 0
+
+    def test_zero_arity_relations_match_reference(self):
+        # J-relations of empty bags: zero attributes, zero or one (empty) row.
+        true_c, true_r = _pair("T", [], [()])
+        false_c, false_r = _pair("F", [], [])
+        full_c, full_r = _pair("R", ["a"], [(1,), (2,)])
+        for zero_c, zero_r in ((true_c, true_r), (false_c, false_r)):
+            cc, rc = WorkCounter(), WorkCounter()
+            _assert_same_relation(
+                full_c.semijoin(zero_c, counter=cc),
+                full_r.semijoin(zero_r, counter=rc),
+            )
+            _assert_same_counter(cc, rc)
+            cc, rc = WorkCounter(), WorkCounter()
+            _assert_same_relation(
+                zero_c.natural_join(full_c, counter=cc),
+                zero_r.natural_join(full_r, counter=rc),
+            )
+            _assert_same_counter(cc, rc)
+            _assert_same_relation(zero_c.distinct(), zero_r.distinct())
+        assert true_c.aggregate("COUNT", "whatever") == 1
+
+    def test_no_shared_attributes_is_cartesian_on_both_engines(self):
+        a_c, a_r = _pair("A", ["x"], [(1,), (2,)])
+        b_c, b_r = _pair("B", ["y"], [(3,), (4,), (5,)])
+        cc, rc = WorkCounter(), WorkCounter()
+        _assert_same_relation(
+            a_c.natural_join(b_c, counter=cc), a_r.natural_join(b_r, counter=rc)
+        )
+        _assert_same_counter(cc, rc)
+
+    def test_duplicate_rows_keep_join_multiplicities(self):
+        left_rows = [(1, 2), (1, 2), (2, 3)]
+        right_rows = [(2, 9), (2, 9), (2, 8)]
+        left_c, left_r = _pair("L", ["a", "b"], left_rows)
+        right_c, right_r = _pair("R", ["b", "c"], right_rows)
+        _assert_same_relation(
+            left_c.natural_join(right_c), left_r.natural_join(right_r)
+        )
+
+
+def _random_database_and_query(seed):
+    """A random 3-atom path/triangle query over both engines' databases."""
+    rng = random.Random(f"db-{seed}")
+    domain = rng.randint(3, 8)
+
+    def rows(arity, count):
+        return [
+            tuple(rng.randrange(domain) for _ in range(arity)) for _ in range(count)
+        ]
+
+    r_rows = rows(2, rng.randint(0, 25))
+    s_rows = rows(2, rng.randint(0, 25))
+    t_rows = rows(2, rng.randint(0, 25))
+    database = Database()
+    database.create_table("R", ["a", "b"], r_rows)
+    database.create_table("S", ["b", "c"], s_rows)
+    database.create_table("T", ["c", "a"], t_rows, primary_key="c")
+    triangle = rng.random() < 0.5
+    atoms = [
+        Atom("R", "R", ("a", "b"), ("x", "y")),
+        Atom("S", "S", ("b", "c"), ("y", "z")),
+        Atom("T", "T", ("c", "a"), ("z", "x") if triangle else ("z", "w")),
+    ]
+    aggregate = rng.choice([("MIN", "x"), ("MAX", "y"), ("COUNT", "x"), None])
+    query = ConjunctiveQuery(atoms=atoms, aggregate=aggregate, name=f"q{seed}")
+    return database, query
+
+
+def _decompositions_for(query):
+    hypergraph = query.hypergraph()
+    variables = set(map(str, hypergraph.vertices))
+    single = TreeDecomposition.from_bags(hypergraph, [variables], [None])
+    decompositions = [single]
+    if "w" in variables:
+        # A genuine two-bag path decomposition exercising the reducer passes.
+        decompositions.append(
+            TreeDecomposition.from_bags(
+                hypergraph,
+                [{"x", "y", "z"}, {"z", "w", "x"}],
+                [None, 0],
+            )
+        )
+        # An empty bag riding along exercises the zero-arity J-relation path.
+        decompositions.append(
+            TreeDecomposition.from_bags(
+                hypergraph,
+                [variables, set()],
+                [None, 0],
+            )
+        )
+    return decompositions
+
+
+def _assert_same_run(columnar_run, reference_run):
+    columnar_result, reference_result = columnar_run.result, reference_run.result
+    if hasattr(columnar_result, "rows"):
+        assert sorted(columnar_result.rows) == sorted(reference_result.rows)
+    else:
+        assert columnar_result == reference_result
+    assert columnar_run.node_sizes == reference_run.node_sizes
+    assert columnar_run.reduced_sizes == reference_run.reduced_sizes
+    assert columnar_run.max_intermediate == reference_run.max_intermediate
+    _assert_same_counter(columnar_run.counter, reference_run.counter)
+
+
+class TestYannakakisEquivalence:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_full_runs_match_reference(self, seed):
+        database, query = _random_database_and_query(seed)
+        reference_db = as_reference_database(database)
+        assert isinstance(
+            reference_db.relation("R"), ReferenceRelation
+        )  # sanity: the spec engine really is in play
+        for decomposition in _decompositions_for(query):
+            columnar_run = YannakakisExecutor(database, query).execute(decomposition)
+            reference_run = YannakakisExecutor(reference_db, query).execute(
+                decomposition
+            )
+            _assert_same_run(columnar_run, reference_run)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_materialized_runs_match_reference(self, seed):
+        database, query = _random_database_and_query(seed)
+        reference_db = as_reference_database(database)
+        decomposition = _decompositions_for(query)[0]
+        columnar_run = YannakakisExecutor(database, query).execute(
+            decomposition, materialize_result=True
+        )
+        reference_run = YannakakisExecutor(reference_db, query).execute(
+            decomposition, materialize_result=True
+        )
+        _assert_same_run(columnar_run, reference_run)
+
+    def test_empty_database_runs_match_reference(self):
+        database = Database()
+        database.create_table("R", ["a", "b"], [])
+        database.create_table("S", ["b", "c"], [(1, 2)])
+        query = ConjunctiveQuery(
+            atoms=[
+                Atom("R", "R", ("a", "b"), ("x", "y")),
+                Atom("S", "S", ("b", "c"), ("y", "z")),
+            ],
+            aggregate=("MIN", "x"),
+            name="empty",
+        )
+        decomposition = TreeDecomposition.from_bags(
+            query.hypergraph(), [{"x", "y", "z"}], [None]
+        )
+        columnar_run = YannakakisExecutor(database, query).execute(decomposition)
+        reference_run = YannakakisExecutor(
+            as_reference_database(database), query
+        ).execute(decomposition)
+        assert columnar_run.result is None
+        _assert_same_run(columnar_run, reference_run)
+
+    def test_estimator_statistics_match_reference(self):
+        database, query = _random_database_and_query(3)
+        reference_db = as_reference_database(database)
+        columnar_estimator = CardinalityEstimator(database)
+        reference_estimator = CardinalityEstimator(reference_db)
+        for name in database.relation_names():
+            columnar_stats = columnar_estimator.statistics(name)
+            reference_stats = reference_estimator.statistics(name)
+            assert columnar_stats.row_count == reference_stats.row_count
+            assert columnar_stats.distinct_counts == reference_stats.distinct_counts
+        order_c = columnar_estimator.greedy_join_order(query.atoms)
+        order_r = reference_estimator.greedy_join_order(query.atoms)
+        assert [a.alias for a in order_c] == [a.alias for a in order_r]
