@@ -109,6 +109,8 @@ class BlockIndex:
             self._blocks_by_head[empty].append(self.root_block)
         # (candidate mask, block id) -> sub-block ids if conditions 1+2 hold.
         self._basis_subs_cache: Dict[Tuple[int, int], Optional[Tuple[int, ...]]] = {}
+        # block id -> statically feasible (candidate id, live sub ids) probes.
+        self._probe_cache: Dict[int, Tuple[Tuple[int, Tuple[int, ...]], ...]] = {}
 
     def _register(
         self, block: Block, head_mask: int, component_mask: int, edge_masks
@@ -279,6 +281,35 @@ class BlockIndex:
         if self._touching_masks[block_id] & ~covered:
             return None
         return tuple(subs)
+
+    def candidate_probes(self, block_id: int) -> Tuple[Tuple[int, Tuple[int, ...]], ...]:
+        """The statically feasible ``(candidate id, live sub-block ids)`` pairs.
+
+        A pair appears iff the satisfaction-independent basis conditions 1+2
+        hold for the candidate and the block (:meth:`basis_sub_ids`), with the
+        trivially satisfied empty-component sub-blocks dropped: only the
+        remaining *live* subs gate condition 3 and contribute subtrees to the
+        induced partial decomposition.  This is the probe set Algorithm 2's
+        worklist re-examines, so it is memoised per block.
+        """
+        cached = self._probe_cache.get(block_id)
+        if cached is not None:
+            return cached
+        not_union = ~self._union_masks[block_id]
+        component_masks = self._component_masks
+        probes = []
+        for cand_id, candidate_mask in enumerate(self.candidate_masks):
+            if candidate_mask & not_union:
+                continue
+            subs = self.basis_sub_ids(candidate_mask, block_id)
+            if subs is None:
+                continue
+            probes.append(
+                (cand_id, tuple(s for s in subs if component_masks[s]))
+            )
+        result = tuple(probes)
+        self._probe_cache[block_id] = result
+        return result
 
     def is_basis(
         self,

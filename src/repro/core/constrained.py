@@ -6,22 +6,58 @@ whose induced partial decomposition ``Decomp(S, C, X)`` satisfies the subtree
 constraint ``𝒞`` and is minimal with respect to the preference order ``≤``.
 For tractable, preference-complete pairs ``(𝒞, ≤)`` the algorithm finds a
 globally minimal constrained CTD in polynomial time (Theorem 10).
+
+The fixpoint is event-driven, mirroring Algorithm 1 in :mod:`repro.core.ctd`
+but with the preference folded into the re-probe condition:
+
+* only statically feasible (candidate, block) pairs are ever probed — the
+  satisfaction-independent basis conditions are memoised per pair in
+  :meth:`repro.core.blocks.BlockIndex.candidate_probes`;
+* every block keeps one best entry ``(preference key, fragment)``; partial
+  decompositions are immutable ``(bag, children)`` fragments
+  (:mod:`repro.core.fragments`) assembled from the current best fragments of
+  the candidate's sub-blocks, so constraint checks and preference keys are
+  evaluated once per distinct fragment, not once per probe;
+* a worklist drives re-probing with two event kinds: a sub-block becoming
+  *newly satisfied* (it can complete a waiting basis, as in Algorithm 1) and
+  a sub-block's best key *improving* (it changes the fragments the blocks
+  using it as a sub would compose).  A block always keeps the least-key
+  compliant fragment it has evaluated, so a re-probe can only improve its
+  entry; with the topological bottom-up sweep every sub-block is final
+  before its dependants are first probed, making the fixpoint the canonical
+  bottom-up dynamic program.
+
+For preferences that declare themselves monotone
+(:class:`repro.core.preferences.Preference.monotone`) keys compose bottom-up
+from child states and the partial decomposition is never materialised unless
+a non-trivial constraint needs to inspect it; non-monotone preferences fall
+back to evaluating the (memoised) materialised fragment.
+
+The seed's round-robin dynamic program is preserved as the executable
+specification :func:`repro.core.reference.reference_constrained_ctd`; the
+equivalence property tests assert identical decide answers and optimal keys,
+and ``benchmarks/test_bench_constrained.py`` tracks the speedup.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Optional
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.hypergraph.hypergraph import Hypergraph, Vertex
 from repro.decompositions.td import TreeDecomposition
-from repro.decompositions.tree import RootedTree, TreeNode
+from repro.decompositions.tree import RootedTree
 from repro.core.blocks import Bag, Block, BlockIndex
 from repro.core.constraints import NoConstraint, SubtreeConstraint
+from repro.core.fragments import Fragment, fragment_to_decomposition, make_fragment
 from repro.core.preferences import NoPreference, Preference
+
+#: Marks a fragment rejected by the constraint in the per-fragment memo.
+_REJECTED = object()
 
 
 class ConstrainedCTDSolver:
-    """Dynamic program over blocks keeping the ≤-minimal compliant decomposition."""
+    """Event-driven dynamic program keeping the ≤-minimal compliant decomposition."""
 
     def __init__(
         self,
@@ -37,105 +73,249 @@ class ConstrainedCTDSolver:
             {frozenset(bag) for bag in candidate_bags if bag}
         )
         self.index = BlockIndex(hypergraph, filtered)
-        self._basis: Dict[Block, Optional[Bag]] = {}
-        self._satisfied: Dict[Block, bool] = {}
+        # fragment -> _REJECTED | (key, state).  A fragment's evaluation only
+        # depends on the fragment itself (its children are compliant by the
+        # invariant below), so this cache is what turns the per-probe
+        # decomposition rebuilds of the seed DP into dict lookups.
+        self._fragment_eval: Dict[Fragment, object] = {}
+        self._fragment_td: Dict[Fragment, TreeDecomposition] = {}
+        # Dense per-block state, filled by _run.  Invariant: a non-None
+        # fragment entry always satisfies the constraint on every subtree.
+        self._satisfied: Optional[bytearray] = None
+        self._best_key: List[object] = []
+        self._best_fragment: List[Optional[Fragment]] = []
+        self._best_state: List[object] = []
         self._solved = False
 
-    # -- partial decompositions ------------------------------------------------
+    # -- fragment evaluation ---------------------------------------------------
 
-    def _attach_block(self, tree: RootedTree, parent: TreeNode, block: Block) -> None:
-        if not block.component:
-            return
-        basis = self._basis[block]
-        if basis is None:
-            raise ValueError(f"block {block} is not satisfied")
-        node = tree.new_node(parent, bag=basis)
-        for sub in self.index.sub_blocks(basis, block):
-            if sub.component:
-                self._attach_block(tree, node, sub)
+    def _materialise(self, fragment: Fragment) -> TreeDecomposition:
+        decomposition = self._fragment_td.get(fragment)
+        if decomposition is None:
+            decomposition = fragment_to_decomposition(self.hypergraph, fragment)
+            self._fragment_td[fragment] = decomposition
+        return decomposition
 
-    def partial_decomposition(self, block: Block, basis: Bag) -> TreeDecomposition:
-        """``Decomp(S, C, X)`` viewed as the subtree rooted at the basis node.
+    def _evaluate_fragment(self, fragment: Fragment) -> object:
+        """``(key, state)`` of a compliant fragment, or ``_REJECTED``.
 
-        The decomposition is assembled from the current bases of the
-        sub-blocks of ``(S, C)`` w.r.t. ``X``.  The block head (the parent's
-        bag) is not included: subtree constraints and preferences are defined
-        over the partial decompositions induced by subtrees, and the parent's
-        own bag is accounted for when the parent's block is processed.
+        The fragment's children are best entries of their blocks, hence
+        already constraint-compliant on every subtree — so compliance of the
+        whole fragment reduces to ``𝒞.holds`` on the fragment itself, and a
+        monotone preference key composes from the memoised child states.
         """
-        tree = RootedTree()
-        node = tree.new_node(None, bag=basis)
-        for sub in self.index.sub_blocks(basis, block):
-            if sub.component:
-                self._attach_block(tree, node, sub)
-        return TreeDecomposition(self.hypergraph, tree)
-
-    def _current_decomposition(self, block: Block) -> Optional[TreeDecomposition]:
-        basis = self._basis.get(block)
-        if basis is None:
-            return None
-        return self.partial_decomposition(block, basis)
+        cached = self._fragment_eval.get(fragment)
+        if cached is not None:
+            return cached
+        if not self.constraint.trivial and not self.constraint.holds(
+            self._materialise(fragment)
+        ):
+            self._fragment_eval[fragment] = _REJECTED
+            return _REJECTED
+        preference = self.preference
+        if preference.monotone:
+            bag, children = fragment
+            child_states = [self._fragment_eval[child][1] for child in children]
+            state = preference.fragment_state(bag, child_states)
+            result = (preference.state_key(state), state)
+        else:
+            result = (preference.key(self._materialise(fragment)), None)
+        self._fragment_eval[fragment] = result
+        return result
 
     # -- Algorithm 2 -----------------------------------------------------------------
+
+    def _probe_block(self, block_id: int, probes, satisfied, queue, in_queue, parents, probed) -> None:
+        """Re-evaluate every feasible probe of a block against current bests.
+
+        Updates the block's best entry when a strictly better compliant
+        fragment exists and emits the corresponding worklist event
+        (newly-satisfied or key-improved) to the block's registered parents.
+        """
+        candidate_bags = self.index.candidate_bags
+        best_fragment = self._best_fragment
+        best_key = self._best_key
+        current_key = best_key[block_id]
+        current_fragment = best_fragment[block_id]
+        changed = False
+        for cand_id, live_subs in probes[block_id]:
+            ok = True
+            for sub in live_subs:
+                if not satisfied[sub]:
+                    ok = False
+                    break
+            if not ok:
+                continue
+            fragment = make_fragment(
+                candidate_bags[cand_id],
+                [best_fragment[sub] for sub in live_subs],
+            )
+            if current_fragment is not None and fragment == current_fragment:
+                continue
+            evaluation = self._evaluate_fragment(fragment)
+            if evaluation is _REJECTED:
+                continue
+            key, state = evaluation
+            if current_fragment is None or key < current_key:
+                current_key, current_fragment = key, fragment
+                self._best_state[block_id] = state
+                changed = True
+        if not changed:
+            return
+        best_key[block_id] = current_key
+        best_fragment[block_id] = current_fragment
+        satisfied[block_id] = 1
+        # Event: this block was newly satisfied or its key improved — either
+        # way every parent whose probes use it as a sub must be re-examined
+        # (parents not yet reached by the bottom-up sweep will see the fresh
+        # state on their first probe).
+        for parent in parents.get(block_id, ()):
+            if probed[parent] and not in_queue[parent]:
+                in_queue[parent] = 1
+                queue.append(parent)
 
     def _run(self) -> None:
         if self._solved:
             return
-        blocks = self.index.topological_order()
-        for block in blocks:
-            trivially_satisfied = not block.component
-            self._basis[block] = frozenset() if trivially_satisfied else None
-            self._satisfied[block] = trivially_satisfied
-        max_rounds = len(blocks) * max(1, len(self.index.candidate_bags)) + 10
-        for _ in range(max_rounds):
-            changed = False
-            for block in blocks:
-                if not block.component:
-                    continue
-                for candidate in self.index.candidate_bags:
-                    if not self.index.is_basis(candidate, block, self._satisfied):
-                        continue
-                    new_decomposition = self.partial_decomposition(block, candidate)
-                    if not self.constraint.holds_recursively(new_decomposition):
-                        continue
-                    current = self._current_decomposition(block)
-                    if current is None or self.preference.is_strictly_better(
-                        new_decomposition, current
-                    ):
-                        self._basis[block] = candidate
-                        self._satisfied[block] = True
-                        changed = True
-            if not changed:
-                break
+        index = self.index
+        block_count = index.block_count()
+        component_masks = index.mask_arrays()[1]
+        order = index.topological_order_ids()
+
+        satisfied = bytearray(block_count)
+        self._best_key = [None] * block_count
+        self._best_fragment = [None] * block_count
+        self._best_state = [None] * block_count
+        for block_id in range(block_count):
+            if not component_masks[block_id]:
+                # Trivially satisfied: no component, no node, no fragment.
+                satisfied[block_id] = 1
+
+        # Static probe tables: feasible candidates per block and the reverse
+        # sub-block -> dependent-blocks map that routes worklist events.
+        probes: List[Tuple] = [()] * block_count
+        parents: Dict[int, List[int]] = {}
+        for block_id in range(block_count):
+            if not component_masks[block_id]:
+                continue
+            block_probes = index.candidate_probes(block_id)
+            probes[block_id] = block_probes
+            for _, live_subs in block_probes:
+                for sub in live_subs:
+                    dependents = parents.setdefault(sub, [])
+                    if not dependents or dependents[-1] != block_id:
+                        dependents.append(block_id)
+
+        queue: deque = deque()
+        in_queue = bytearray(block_count)
+        probed = bytearray(block_count)
+        # Bottom-up sweep in topological order: sub-blocks precede the blocks
+        # that can use them, so most blocks settle on their first probe and
+        # the worklist only carries the residual events.
+        for block_id in order:
+            if component_masks[block_id]:
+                self._probe_block(
+                    block_id, probes, satisfied, queue, in_queue, parents, probed
+                )
+            probed[block_id] = 1
+        while queue:
+            block_id = queue.popleft()
+            in_queue[block_id] = 0
+            self._probe_block(
+                block_id, probes, satisfied, queue, in_queue, parents, probed
+            )
+        self._satisfied = satisfied
         self._solved = True
 
     # -- public API ----------------------------------------------------------------------
 
-    def decide(self) -> bool:
-        """``True`` iff a constraint-compliant CompNF CTD exists."""
-        return self.solve() is not None
+    def _trivial_decomposition(self) -> Optional[TreeDecomposition]:
+        """The vertex-less hypergraph's single-empty-bag CTD, if compliant.
 
-    def solve(self) -> Optional[TreeDecomposition]:
-        """Return the ≤-minimal constraint-compliant CTD, or ``None``."""
-        self._run()
-        root = self.index.root_block
-        if not self._satisfied.get(root, False) or not self._basis.get(root):
-            return None
-        decomposition = self._build_full_decomposition()
+        This path never went through a probe, so it is the one place the
+        constraint still has to be consulted after the fixpoint.
+        """
+        tree = RootedTree()
+        tree.new_node(None, bag=frozenset())
+        decomposition = TreeDecomposition(self.hypergraph, tree)
         if not self.constraint.holds_recursively(decomposition):
             return None
         return decomposition
 
-    def _build_full_decomposition(self) -> TreeDecomposition:
-        root_block = self.index.root_block
-        basis = self._basis[root_block]
-        assert basis is not None
-        tree = RootedTree()
-        root_node = tree.new_node(None, bag=basis)
-        for sub in self.index.sub_blocks(basis, root_block):
-            if sub.component:
-                self._attach_block(tree, root_node, sub)
-        return TreeDecomposition(self.hypergraph, tree)
+    def decide(self) -> bool:
+        """``True`` iff a constraint-compliant CompNF CTD exists."""
+        self._run()
+        root_id = self.index.block_id(self.index.root_block)
+        assert root_id is not None and self._satisfied is not None
+        if not self._satisfied[root_id]:
+            return False
+        # A satisfied root block with a component always carries a real
+        # basis fragment; the vertex-less hypergraph's root block (∅, ∅) is
+        # trivially satisfied and accepts iff the single-empty-bag
+        # decomposition is compliant.
+        if self._best_fragment[root_id] is None:
+            return self._trivial_decomposition() is not None
+        return True
+
+    def solve(self) -> Optional[TreeDecomposition]:
+        """Return the ≤-minimal constraint-compliant CTD, or ``None``."""
+        self._run()
+        root_id = self.index.block_id(self.index.root_block)
+        if not self._satisfied[root_id]:
+            return None
+        fragment = self._best_fragment[root_id]
+        if fragment is None:
+            return self._trivial_decomposition()
+        # Compliant by construction: every accepted fragment passed ``holds``
+        # on itself and is built from accepted (hence compliant) children,
+        # which is exactly ``holds_recursively`` unrolled.
+        return self._materialise(fragment)
+
+    def optimal_key(self):
+        """The preference key of the optimal compliant CTD (``None`` if infeasible)."""
+        self._run()
+        root_id = self.index.block_id(self.index.root_block)
+        if not self._satisfied[root_id]:
+            return None
+        if self._best_fragment[root_id] is None:
+            decomposition = self._trivial_decomposition()
+            return None if decomposition is None else self.preference.key(decomposition)
+        return self._best_key[root_id]
+
+    def satisfied_blocks(self) -> List[Block]:
+        """The blocks satisfied by a compliant partial decomposition."""
+        self._run()
+        return [
+            self.index.block_at(block_id)
+            for block_id in range(self.index.block_count())
+            if self._satisfied[block_id]
+        ]
+
+    def basis_of(self, block: Block) -> Optional[Bag]:
+        """The best basis bag of a block (``∅`` for trivially satisfied blocks)."""
+        self._run()
+        block_id = self.index.block_id(block)
+        if block_id is None or not self._satisfied[block_id]:
+            return None
+        fragment = self._best_fragment[block_id]
+        return fragment[0] if fragment is not None else frozenset()
+
+    def partial_decomposition(self, block: Block) -> Optional[TreeDecomposition]:
+        """``Decomp(S, C, X)`` for the block's best basis, or ``None``.
+
+        The block head (the parent's bag) is not included: subtree
+        constraints and preferences are defined over the partial
+        decompositions induced by subtrees, and the parent's own bag is
+        accounted for when the parent's block is processed.
+        """
+        self._run()
+        block_id = self.index.block_id(block)
+        if block_id is None or not self._satisfied[block_id]:
+            return None
+        fragment = self._best_fragment[block_id]
+        if fragment is None:
+            return None
+        return self._materialise(fragment)
 
 
 def constrained_candidate_td(

@@ -38,6 +38,10 @@ class SubtreeConstraint:
     checks every subtree, which is what "a TD satisfies 𝒞" means.
     """
 
+    #: Trivial constraints hold for every decomposition; the solvers skip
+    #: materialising partial decompositions for them entirely.
+    trivial = False
+
     def holds(self, partial_td: TreeDecomposition) -> bool:
         raise NotImplementedError
 
@@ -78,6 +82,8 @@ def _subtree_decomposition(td: TreeDecomposition, node: TreeNode) -> TreeDecompo
 class NoConstraint(SubtreeConstraint):
     """The trivial constraint satisfied by every decomposition."""
 
+    trivial = True
+
     def holds(self, partial_td: TreeDecomposition) -> bool:
         return True
 
@@ -87,6 +93,7 @@ class AndConstraint(SubtreeConstraint):
 
     def __init__(self, constraints: Sequence[SubtreeConstraint]):
         self.constraints = list(constraints)
+        self.trivial = all(c.trivial for c in self.constraints)
 
     def holds(self, partial_td: TreeDecomposition) -> bool:
         return all(c.holds(partial_td) for c in self.constraints)
@@ -126,7 +133,8 @@ class ShallowCyclicityConstraint(SubtreeConstraint):
         self.depth = depth
         self._single_cover_cache: Dict[Bag, bool] = {}
 
-    def _single_edge_coverable(self, bag: Bag) -> bool:
+    def single_edge_coverable(self, bag: Bag) -> bool:
+        """Whether some single edge covers the bag (memoised per bag)."""
         if bag not in self._single_cover_cache:
             self._single_cover_cache[bag] = any(
                 bag <= edge.vertices for edge in self.hypergraph.edges
@@ -137,7 +145,7 @@ class ShallowCyclicityConstraint(SubtreeConstraint):
         """The least ``d`` such that all bags at depth > d are single-edge covered."""
         depth = 0
         for node in partial_td.tree.nodes():
-            if not self._single_edge_coverable(partial_td.bag(node)):
+            if not self.single_edge_coverable(partial_td.bag(node)):
                 depth = max(depth, partial_td.tree.depth(node))
         return depth
 

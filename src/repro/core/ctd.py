@@ -139,7 +139,11 @@ class CandidateTDSolver:
         """``True`` iff a CompNF CTD for the candidate bags exists."""
         self._run_fixpoint()
         root = self.index.root_block
-        return self._satisfied.get(root, False) and bool(self._basis.get(root))
+        # A satisfied root block with a component always has a real
+        # (non-empty) basis; on the vertex-less hypergraph the root block is
+        # (∅, ∅), trivially satisfied by the empty basis, and the trivial
+        # single-empty-bag decomposition witnesses acceptance.
+        return self._satisfied.get(root, False)
 
     def solve(self) -> Optional[TreeDecomposition]:
         """Return a CompNF CTD, or ``None`` if none exists."""
@@ -181,6 +185,10 @@ class CandidateTDSolver:
         basis = self._basis[root_block]
         assert basis is not None
         tree = RootedTree()
+        if not root_block.component:
+            # Vertex-less hypergraph: the trivial single-empty-bag CTD.
+            tree.new_node(None, bag=frozenset())
+            return TreeDecomposition(self.hypergraph, tree)
         root_node = tree.new_node(None, bag=basis)
         for sub in self.index.sub_blocks(basis, root_block):
             if sub.component:

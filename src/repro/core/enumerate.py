@@ -20,38 +20,14 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.hypergraph.hypergraph import Hypergraph, Vertex
 from repro.decompositions.td import TreeDecomposition
-from repro.decompositions.tree import RootedTree, TreeNode
 from repro.core.blocks import Bag, Block, BlockIndex
 from repro.core.constraints import NoConstraint, SubtreeConstraint
+from repro.core.fragments import (
+    Fragment,
+    fragment_to_decomposition,
+    make_fragment,
+)
 from repro.core.preferences import NoPreference, Preference
-
-# A fragment is an immutable encoding of a decomposition subtree:
-# (bag, (child fragments...)).
-Fragment = Tuple
-
-
-def _fragment(bag: Bag, children: Tuple) -> Fragment:
-    return (bag, tuple(sorted(children, key=repr)))
-
-
-def fragment_to_decomposition(
-    hypergraph: Hypergraph, fragment: Fragment, head: Optional[Bag] = None
-) -> TreeDecomposition:
-    """Materialise a fragment (optionally below a head bag) as a decomposition."""
-    tree = RootedTree()
-
-    def build(node_fragment: Fragment, parent: Optional[TreeNode]) -> None:
-        bag, children = node_fragment
-        node = tree.new_node(parent, bag=bag)
-        for child in children:
-            build(child, node)
-
-    if head is not None:
-        root = tree.new_node(None, bag=head)
-        build(fragment, root)
-    else:
-        build(fragment, None)
-    return TreeDecomposition(hypergraph, tree)
 
 
 class CTDEnumerator:
@@ -79,13 +55,13 @@ class CTDEnumerator:
 
     # -- enumeration over blocks ----------------------------------------------------
 
-    def _key(self, block_head: Bag, fragment: Fragment):
+    def _key(self, fragment: Fragment):
         # Partial decompositions are the subtrees rooted at the basis node;
         # the block head (the parent's bag) is evaluated at the parent level.
         decomposition = fragment_to_decomposition(self.hypergraph, fragment)
         return self.preference.key(decomposition)
 
-    def _satisfies_constraint(self, block_head: Bag, fragment: Fragment) -> bool:
+    def _satisfies_constraint(self, fragment: Fragment) -> bool:
         decomposition = fragment_to_decomposition(self.hypergraph, fragment)
         return self.constraint.holds_recursively(decomposition)
 
@@ -94,9 +70,6 @@ class CTDEnumerator:
         if block in self._options:
             return self._options[block]
         options: Dict[Fragment, object] = {}
-        satisfied_lookup = {
-            other: bool(self._options.get(other)) for other in self._options
-        }
         for candidate in self.index.candidate_bags:
             if candidate == block.head:
                 continue
@@ -124,16 +97,15 @@ class CTDEnumerator:
             for combination in islice(
                 product(*child_lists), self.combinations_per_basis
             ):
-                fragment = _fragment(candidate, tuple(combination))
+                fragment = make_fragment(candidate, tuple(combination))
                 if fragment in options:
                     continue
-                if not self._satisfies_constraint(block.head, fragment):
+                if not self._satisfies_constraint(fragment):
                     continue
-                options[fragment] = self._key(block.head, fragment)
+                options[fragment] = self._key(fragment)
         ranked = sorted(options.items(), key=lambda item: (item[1], repr(item[0])))
         result = [(key, fragment) for fragment, key in ranked[: self.beam]]
         self._options[block] = result
-        del satisfied_lookup
         return result
 
     def enumerate(self, limit: int = 10) -> List[TreeDecomposition]:

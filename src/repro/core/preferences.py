@@ -6,6 +6,27 @@ globally minimal decomposition with respect to the toptd.  We model a toptd
 by a key function: ``a ≤ b`` iff ``key(a) ≤ key(b)``, which covers cost
 functions (the paper's main use case), shallow-cyclicity preferences and
 lexicographic combinations.
+
+Monotone preferences
+--------------------
+
+The paper's strongly monotone cost functions (Section 6.1) share a structural
+property the event-driven Algorithm 2 exploits: the key of a partial
+decomposition is determined by its root bag and the keys of the child
+subtrees, so keys compose bottom-up without re-walking the subtree.  Such a
+preference sets ``monotone = True`` and implements :meth:`fragment_state` /
+:meth:`state_key`:
+
+* ``fragment_state(bag, child_states)`` folds the root bag and the already
+  computed child states into the state of the combined partial decomposition
+  (states are opaque to the solver — a scalar for simple preferences, a
+  ``(bag, cost)`` pair when edge terms need the child's root bag);
+* ``state_key(state)`` projects a state to the comparable key, and must agree
+  with ``key`` on the materialised decomposition.
+
+Non-monotone preferences keep ``monotone = False`` and are evaluated by
+materialising each (memoised) fragment — correct for arbitrary key functions,
+just without the incremental fast path.
 """
 
 from __future__ import annotations
@@ -19,6 +40,9 @@ from repro.decompositions.td import TreeDecomposition
 class Preference:
     """Base class: a total quasiorder given by a comparable key."""
 
+    #: Whether keys compose bottom-up from child states (see module docstring).
+    monotone = False
+
     def key(self, partial_td: TreeDecomposition):
         raise NotImplementedError
 
@@ -26,11 +50,26 @@ class Preference:
         """``a < b`` in the quasiorder."""
         return self.key(a) < self.key(b)
 
+    # -- monotone composition (only for ``monotone = True``) -------------------
+
+    def fragment_state(self, bag, child_states: Sequence):
+        """State of the partial decomposition with root ``bag`` over the children."""
+        raise NotImplementedError(f"{type(self).__name__} is not monotone")
+
+    def state_key(self, state):
+        """The comparable key of a composed state (defaults to the state itself)."""
+        return state
+
 
 class NoPreference(Preference):
     """All decompositions are equally preferred."""
 
+    monotone = True
+
     def key(self, partial_td: TreeDecomposition):
+        return 0
+
+    def fragment_state(self, bag, child_states: Sequence):
         return 0
 
 
@@ -39,8 +78,11 @@ class CostPreference(Preference):
 
     The cost function receives the partial tree decomposition and returns a
     number; lower is better.  The paper's evaluation uses the two cost
-    functions of Appendix C.2 (see :mod:`repro.db.cost`), both of which are
-    strongly monotone in the sense of Section 6.1.
+    functions of Appendix C.2 (see :mod:`repro.db.cost`).  An arbitrary
+    callable cannot be decomposed, so this class is evaluated on materialised
+    decompositions; cost functions of the Equation (6) shape (per-node costs
+    plus parent/child edge terms) should use :class:`MonotoneCostPreference`
+    to unlock Algorithm 2's incremental fast path.
     """
 
     def __init__(self, cost_function: Callable[[TreeDecomposition], float]):
@@ -50,18 +92,72 @@ class CostPreference(Preference):
         return self.cost_function(partial_td)
 
 
+class MonotoneCostPreference(CostPreference):
+    """A strongly monotone cost: node costs plus parent→child edge costs.
+
+    ``cost(T_u) = node_cost(B(u)) + Σ_c [cost(T_c) + edge_cost(B(u), B(c))]``
+    — exactly the recursive shape of the paper's Equation (6), so the key of
+    a fragment composes from its children's ``(bag, cost)`` states without
+    revisiting the subtree.
+    """
+
+    monotone = True
+
+    def __init__(
+        self,
+        node_cost: Callable[[frozenset], float],
+        edge_cost: Callable[[frozenset, frozenset], float],
+    ):
+        self.node_cost = node_cost
+        self.edge_cost = edge_cost
+        super().__init__(self._decomposition_cost)
+
+    def _decomposition_cost(self, partial_td: TreeDecomposition) -> float:
+        def walk(node) -> float:
+            bag = partial_td.bag(node)
+            total = self.node_cost(bag)
+            for child in node.children:
+                total += walk(child)
+                total += self.edge_cost(bag, partial_td.bag(child))
+            return total
+
+        return walk(partial_td.tree.root)
+
+    def fragment_state(self, bag, child_states: Sequence) -> Tuple:
+        total = self.node_cost(bag)
+        for child_bag, child_cost in child_states:
+            total += child_cost
+            total += self.edge_cost(bag, child_bag)
+        return (bag, total)
+
+    def state_key(self, state) -> float:
+        return state[1]
+
+
 class NodeCountPreference(Preference):
     """Prefer decompositions with fewer nodes (a simple tie-breaker)."""
 
+    monotone = True
+
     def key(self, partial_td: TreeDecomposition) -> int:
         return partial_td.tree.num_nodes()
+
+    def fragment_state(self, bag, child_states: Sequence) -> int:
+        return 1 + sum(child_states)
 
 
 class MaxBagSizePreference(Preference):
     """Prefer decompositions whose largest bag is small (treewidth-style)."""
 
+    monotone = True
+
     def key(self, partial_td: TreeDecomposition) -> int:
-        return max(len(bag) for bag in partial_td.bags())
+        # A bag-less partial decomposition (e.g. the placeholder option of a
+        # trivially satisfied block) has no bags to measure.
+        return max((len(bag) for bag in partial_td.bags()), default=0)
+
+    def fragment_state(self, bag, child_states: Sequence) -> int:
+        return max([len(bag), *child_states])
 
 
 class ShallowCyclicityPreference(Preference):
@@ -73,6 +169,8 @@ class ShallowCyclicityPreference(Preference):
     achievable cyclicity depth.
     """
 
+    monotone = True
+
     def __init__(self, hypergraph: Hypergraph):
         from repro.core.constraints import ShallowCyclicityConstraint
 
@@ -81,12 +179,38 @@ class ShallowCyclicityPreference(Preference):
     def key(self, partial_td: TreeDecomposition) -> int:
         return self._measure.cyclicity_depth(partial_td)
 
+    # The composed state is the depth of the deepest bag *not* covered by a
+    # single edge, or ``None`` when every bag is — ``cyclicity_depth``
+    # reports 0 in both the "root is the deepest offender" and the "no
+    # offender at all" case, so the key alone would not compose.
+    def fragment_state(self, bag, child_states: Sequence):
+        deepest = None
+        for child_state in child_states:
+            if child_state is not None and (deepest is None or child_state + 1 > deepest):
+                deepest = child_state + 1
+        if deepest is None and not self._measure.single_edge_coverable(bag):
+            deepest = 0
+        return deepest
+
+    def state_key(self, state) -> int:
+        return 0 if state is None else state
+
 
 class LexicographicPreference(Preference):
     """Combine several preferences lexicographically (first is most important)."""
 
     def __init__(self, preferences: Sequence[Preference]):
         self.preferences = list(preferences)
+        self.monotone = all(p.monotone for p in self.preferences)
 
     def key(self, partial_td: TreeDecomposition) -> Tuple:
         return tuple(p.key(partial_td) for p in self.preferences)
+
+    def fragment_state(self, bag, child_states: Sequence) -> Tuple:
+        return tuple(
+            p.fragment_state(bag, [child[i] for child in child_states])
+            for i, p in enumerate(self.preferences)
+        )
+
+    def state_key(self, state) -> Tuple:
+        return tuple(p.state_key(s) for p, s in zip(self.preferences, state))

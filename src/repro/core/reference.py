@@ -25,6 +25,13 @@ from repro.hypergraph.hypergraph import Edge, Hypergraph, Vertex
 Bag = FrozenSet[Vertex]
 
 
+def _sorted_bags(bags: Iterable[Bag]) -> List[Bag]:
+    return sorted(
+        {frozenset(bag) for bag in bags if bag},
+        key=lambda bag: (len(bag), sorted(map(str, bag))),
+    )
+
+
 # -- components (seed version of repro.hypergraph.components) -----------------
 
 
@@ -309,18 +316,14 @@ class _ReferenceBlock:
         return hash((self.head, self.component))
 
 
-def reference_candidate_td_decide(
-    hypergraph: Hypergraph, candidate_bags: Iterable[Bag]
-) -> bool:
-    """Seed Algorithm 1 fixpoint: round-robin over all (block, candidate) pairs.
+def _reference_blocks(
+    hypergraph: Hypergraph, bags: List[Bag]
+) -> Tuple[Dict[Bag, List["_ReferenceBlock"]], List["_ReferenceBlock"], "_ReferenceBlock"]:
+    """All blocks headed by the bags (plus the root block), seed-style.
 
-    Returns the CandidateTD decision (root block satisfied through a
-    non-empty basis).
+    Returns ``(blocks_by_head, all_blocks, root_block)`` — the common
+    preamble of the seed Algorithm 1 and Algorithm 2 fixpoints.
     """
-    bags = sorted(
-        {frozenset(bag) for bag in candidate_bags if bag},
-        key=lambda bag: (len(bag), sorted(map(str, bag))),
-    )
     blocks_by_head: Dict[Bag, List[_ReferenceBlock]] = {}
     all_blocks: List[_ReferenceBlock] = []
     empty: Bag = frozenset()
@@ -334,6 +337,18 @@ def reference_candidate_td_decide(
     if root_block not in blocks_by_head[empty]:
         blocks_by_head[empty].append(root_block)
         all_blocks.append(root_block)
+    return blocks_by_head, all_blocks, root_block
+
+
+def reference_candidate_td_decide(
+    hypergraph: Hypergraph, candidate_bags: Iterable[Bag]
+) -> bool:
+    """Seed Algorithm 1 fixpoint: round-robin over all (block, candidate) pairs.
+
+    Returns the CandidateTD decision (the root block is satisfied).
+    """
+    bags = _sorted_bags(candidate_bags)
+    blocks_by_head, all_blocks, root_block = _reference_blocks(hypergraph, bags)
 
     def is_basis(candidate: Bag, block: _ReferenceBlock, satisfied) -> bool:
         if candidate == block.head:
@@ -373,4 +388,124 @@ def reference_candidate_td_decide(
                     satisfied[block] = True
                     changed = True
                     break
-    return satisfied.get(root_block, False) and bool(basis.get(root_block))
+    # The vertex-less hypergraph's root block (∅, ∅) is trivially satisfied
+    # by the (empty, falsy) basis — the accept test is satisfaction alone.
+    return satisfied.get(root_block, False)
+
+
+# -- Algorithm 2 (seed version of repro.core.constrained) ----------------------
+
+
+def reference_constrained_ctd(
+    hypergraph: Hypergraph,
+    candidate_bags: Iterable[Bag],
+    constraint=None,
+    preference=None,
+):
+    """Seed Algorithm 2: round-robin DP over all (block, candidate) pairs.
+
+    For every block the DP keeps the basis whose induced partial
+    decomposition is constraint-compliant and preference-minimal, rebuilding
+    the full :class:`TreeDecomposition` and re-running
+    ``constraint.holds_recursively`` for every probe in every round — the
+    pre-worklist behaviour the event-driven solver in
+    :mod:`repro.core.constrained` is benchmarked and property-tested against.
+    Returns the optimal compliant CTD or ``None``.
+    """
+    from repro.core.constraints import NoConstraint
+    from repro.core.preferences import NoPreference
+    from repro.decompositions.td import TreeDecomposition
+    from repro.decompositions.tree import RootedTree
+
+    constraint = constraint if constraint is not None else NoConstraint()
+    preference = preference if preference is not None else NoPreference()
+    bags = _sorted_bags(
+        constraint.filter_bags({frozenset(bag) for bag in candidate_bags if bag})
+    )
+    blocks_by_head, all_blocks, root_block = _reference_blocks(hypergraph, bags)
+
+    basis: Dict[_ReferenceBlock, Optional[Bag]] = {}
+    satisfied: Dict[_ReferenceBlock, bool] = {}
+
+    def sub_blocks(head: Bag, block: _ReferenceBlock) -> List[_ReferenceBlock]:
+        return [b for b in blocks_by_head.get(head, []) if b.leq(block)]
+
+    def is_basis(candidate: Bag, block: _ReferenceBlock) -> bool:
+        if candidate == block.head:
+            return False
+        if not candidate <= block.union:
+            return False
+        subs = sub_blocks(candidate, block)
+        covered = set(candidate)
+        for sub in subs:
+            covered.update(sub.component)
+        if not block.component <= covered:
+            return False
+        for edge in hypergraph.edges:
+            if edge.vertices & block.component and not edge.vertices <= covered:
+                return False
+        return all(satisfied.get(sub, False) for sub in subs)
+
+    def attach(tree: RootedTree, parent, block: _ReferenceBlock) -> None:
+        if not block.component:
+            return
+        block_basis = basis[block]
+        assert block_basis is not None
+        node = tree.new_node(parent, bag=block_basis)
+        for sub in sub_blocks(block_basis, block):
+            if sub.component:
+                attach(tree, node, sub)
+
+    def partial_decomposition(
+        block: _ReferenceBlock, candidate: Bag
+    ) -> TreeDecomposition:
+        tree = RootedTree()
+        node = tree.new_node(None, bag=candidate)
+        for sub in sub_blocks(candidate, block):
+            if sub.component:
+                attach(tree, node, sub)
+        return TreeDecomposition(hypergraph, tree)
+
+    ordered = sorted(
+        all_blocks,
+        key=lambda b: (len(b.union), len(b.component), sorted(map(str, b.head))),
+    )
+    for block in ordered:
+        trivially = not block.component
+        basis[block] = frozenset() if trivially else None
+        satisfied[block] = trivially
+    max_rounds = len(ordered) * max(1, len(bags)) + 10
+    for _ in range(max_rounds):
+        changed = False
+        for block in ordered:
+            if not block.component:
+                continue
+            for candidate in bags:
+                if not is_basis(candidate, block):
+                    continue
+                new_decomposition = partial_decomposition(block, candidate)
+                if not constraint.holds_recursively(new_decomposition):
+                    continue
+                current_basis = basis[block]
+                if current_basis is None or preference.is_strictly_better(
+                    new_decomposition, partial_decomposition(block, current_basis)
+                ):
+                    basis[block] = candidate
+                    satisfied[block] = True
+                    changed = True
+        if not changed:
+            break
+    if not satisfied.get(root_block, False):
+        return None
+    if not root_block.component:
+        # Vertex-less hypergraph: the trivial single-empty-bag CTD.
+        tree = RootedTree()
+        tree.new_node(None, bag=frozenset())
+        decomposition = TreeDecomposition(hypergraph, tree)
+    else:
+        root_basis = basis[root_block]
+        assert root_basis is not None
+        decomposition = partial_decomposition(root_block, root_basis)
+    if not constraint.holds_recursively(decomposition):
+        return None
+    return decomposition

@@ -6,6 +6,12 @@ for ``Soft_{H,k}``; ``shw_i(H)`` uses the iterated candidate bags
 polynomial (Theorems 1 and 5); the functions here combine candidate bag
 generation with the CandidateTD solvers and, optionally, with constraints and
 preferences (Section 6).
+
+Both solver routes run event-driven worklist fixpoints on the bitset kernel:
+the plain decision problem uses Algorithm 1 (:mod:`repro.core.ctd`), and any
+constraint or preference switches to Algorithm 2
+(:mod:`repro.core.constrained`), whose per-block best entries are memoised
+decomposition fragments ranked by the preference key.
 """
 
 from __future__ import annotations

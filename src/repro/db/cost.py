@@ -24,7 +24,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 from repro.hypergraph.hypergraph import Hypergraph, Vertex
 from repro.decompositions.td import TreeDecomposition
 from repro.decompositions.tree import TreeNode
-from repro.core.preferences import CostPreference
+from repro.core.preferences import CostPreference, MonotoneCostPreference
 from repro.db.database import Database
 from repro.db.query import Atom, ConjunctiveQuery
 from repro.db.relation import Relation
@@ -87,26 +87,58 @@ class EstimateCostModel(_CostModelBase):
     ):
         super().__init__(query, database, max_cover_size, prefer_connected)
         self.estimator = estimator or CardinalityEstimator(database)
+        # Plan costs are pure functions of the atom set; Algorithm 2 asks for
+        # the same bags and (parent, child) pairs over and over.
+        self._plan_cost_cache: Dict[Tuple[str, ...], float] = {}
+        self._semijoin_cache: Dict[Tuple[Bag, Bag], float] = {}
+
+    def _plan_cost(self, atoms: Sequence[Atom]) -> float:
+        key = tuple(atom.alias for atom in atoms)
+        cost = self._plan_cost_cache.get(key)
+        if cost is None:
+            cost = self.estimator.estimate_plan_cost(atoms)
+            self._plan_cost_cache[key] = cost
+        return cost
 
     def node_cost(self, bag: Bag) -> float:
         """Equation (5): the estimated cost of the bag join (0 for single atoms)."""
         atoms = self.cover_atoms(bag)
         if len(atoms) <= 1:
             return 0.0
-        return self.estimator.estimate_plan_cost(atoms)
+        return self._plan_cost(atoms)
 
     def _semijoin_extra_cost(self, parent_bag: Bag, child_bag: Bag) -> float:
         """``C(J_p ⋉ J_c) − C(J_p) − C(J_c)``, clamped to at least 1.
 
-        The estimated cost of the semi-join query includes re-evaluating both
-        bag joins, so the paper subtracts those costs; the clamp guards
-        against noisy estimates driving the total negative (Appendix C.2.1 —
-        the paper's formula prints ``min``, but a lower clamp is the only
-        reading that "avoids the total cost becoming negative").
+        ``C(J_p ⋉ J_c)`` is the optimiser's estimated cost of the semi-join
+        query, which we stand in for with the estimated plan cost of the join
+        over the union of the two bags' cover atoms.  That estimate includes
+        re-evaluating both bag joins, so the paper subtracts their costs; the
+        clamp guards against noisy estimates driving the total negative
+        (Appendix C.2.1 — the paper's formula prints ``min``, but a lower
+        clamp is the only reading that "avoids the total cost becoming
+        negative").
         """
+        cached = self._semijoin_cache.get((parent_bag, child_bag))
+        if cached is not None:
+            return cached
         parent_atoms = self.cover_atoms(parent_bag)
-        probe = self.estimator.estimate_join_cardinality(parent_atoms) if parent_atoms else 0.0
-        return max(probe, 1.0)
+        child_atoms = self.cover_atoms(child_bag)
+        if not parent_atoms or not child_atoms:
+            cost = 1.0
+        else:
+            combined: List[Atom] = list(parent_atoms)
+            seen = {atom.alias for atom in combined}
+            for atom in child_atoms:
+                if atom.alias not in seen:
+                    seen.add(atom.alias)
+                    combined.append(atom)
+            semijoin = self._plan_cost(combined)
+            parent_cost = self._plan_cost(parent_atoms)
+            child_cost = self._plan_cost(child_atoms)
+            cost = max(semijoin - parent_cost - child_cost, 1.0)
+        self._semijoin_cache[(parent_bag, child_bag)] = cost
+        return cost
 
     def subtree_cost(self, decomposition: TreeDecomposition, node: TreeNode) -> float:
         """Equation (6): recursive subtree cost."""
@@ -119,6 +151,15 @@ class EstimateCostModel(_CostModelBase):
 
     def decomposition_cost(self, decomposition: TreeDecomposition) -> float:
         return self.subtree_cost(decomposition, decomposition.tree.root)
+
+    def as_preference(self) -> MonotoneCostPreference:
+        """Equation (6) as a *monotone* preference for Algorithm 2.
+
+        The recursion is exactly node costs plus parent→child semi-join
+        terms, so the constrained solver can compose keys bottom-up from
+        ``(bag, cost)`` fragment states instead of re-walking subtrees.
+        """
+        return MonotoneCostPreference(self.node_cost, self._semijoin_extra_cost)
 
 
 class CardinalityCostModel(_CostModelBase):
@@ -270,18 +311,17 @@ def make_cost_preference(
 
     ``kind`` is ``"estimates"`` (Appendix C.2.1) or ``"cardinalities"``
     (Appendix C.2.2).  The same model instance is reused across calls so the
-    per-bag caches are shared while ranking many decompositions.
+    per-bag caches are shared while ranking many decompositions.  The
+    estimate cost composes bottom-up (Equation (6) is node costs plus
+    parent→child semi-join terms), so it is returned as a monotone
+    preference; the cardinality cost's ``ReducedSz`` model inspects whole
+    subtrees and stays a materialising :class:`CostPreference`.
     """
     if kind == "estimates":
-        model: object = EstimateCostModel(
+        return EstimateCostModel(
             query, database, estimator=estimator, max_cover_size=max_cover_size
-        )
-    elif kind == "cardinalities":
+        ).as_preference()
+    if kind == "cardinalities":
         model = CardinalityCostModel(query, database, max_cover_size=max_cover_size)
-    else:
-        raise ValueError(f"unknown cost kind {kind!r}; use 'estimates' or 'cardinalities'")
-
-    def cost(decomposition: TreeDecomposition) -> float:
-        return model.decomposition_cost(decomposition)
-
-    return CostPreference(cost)
+        return CostPreference(model.decomposition_cost)
+    raise ValueError(f"unknown cost kind {kind!r}; use 'estimates' or 'cardinalities'")

@@ -43,6 +43,22 @@ class TestBlocks:
         block = Block(bag, frozenset())
         assert not index.is_basis(bag, block, {})
 
+    def test_candidate_probes_match_the_static_basis_test(self, four_cycle):
+        bags = soft_candidate_bags(four_cycle, 2)
+        index = BlockIndex(four_cycle, bags)
+        component_masks = index.mask_arrays()[1]
+        for block_id in range(index.block_count()):
+            if not component_masks[block_id]:
+                continue
+            probes = dict(index.candidate_probes(block_id))
+            for cand_id, candidate_mask in enumerate(index.candidate_masks):
+                subs = index.basis_sub_ids(candidate_mask, block_id)
+                if subs is None:
+                    assert cand_id not in probes
+                else:
+                    live = tuple(s for s in subs if component_masks[s])
+                    assert probes[cand_id] == live
+
 
 class TestCandidateTDSolver:
     def test_single_full_bag_always_works(self, triangle):
@@ -104,3 +120,26 @@ class TestCandidateTDSolver:
         td = candidate_td(four_cycle, bags)
         assert td is not None
         assert td.is_component_normal_form()
+
+    def test_vertexless_hypergraph_accepts_trivially(self):
+        # The root block of the vertex-less hypergraph is (∅, ∅): trivially
+        # satisfied by the empty basis, witnessed by one empty bag.
+        empty = Hypergraph([])
+        solver = CandidateTDSolver(empty, [])
+        assert solver.decide()
+        td = solver.solve()
+        assert td is not None
+        assert td.bags() == [frozenset()]
+        assert td.is_valid()
+        from repro.core.reference import reference_candidate_td_decide
+
+        assert reference_candidate_td_decide(empty, [])
+
+    def test_single_vertex_hypergraph(self):
+        single = Hypergraph({"e0": ["v"]})
+        bags = soft_candidate_bags(single, 1)
+        td = candidate_td(single, bags)
+        assert td is not None
+        assert td.bags() == [frozenset({"v"})]
+        assert td.is_valid()
+        assert candidate_td(single, []) is None

@@ -10,10 +10,13 @@ from repro.core.constraints import (
 from repro.core.preferences import (
     CostPreference,
     MaxBagSizePreference,
+    MonotoneCostPreference,
     NodeCountPreference,
     ShallowCyclicityPreference,
 )
+from repro.core.reference import reference_constrained_ctd
 from repro.core.soft import shw_leq, soft_hypertree_width
+from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.library import cycle_hypergraph, example4_query
 
 
@@ -100,6 +103,95 @@ class TestPartitionClustering:
         assert result is not None
         assert result.is_valid()
         assert constraint.holds_recursively(result)
+
+
+class TestTrivialAndTinyHypergraphs:
+    def test_vertexless_hypergraph_accepts_trivially(self):
+        empty = Hypergraph([])
+        solver = ConstrainedCTDSolver(empty, [])
+        assert solver.decide()
+        decomposition = solver.solve()
+        assert decomposition is not None
+        assert decomposition.bags() == [frozenset()]
+        assert decomposition.is_valid()
+        assert reference_constrained_ctd(empty, []) is not None
+
+    def test_single_vertex_hypergraph(self):
+        single = Hypergraph({"e0": ["v"]})
+        bags = soft_candidate_bags(single, 1)
+        decomposition = constrained_candidate_td(single, bags)
+        assert decomposition is not None
+        assert decomposition.bags() == [frozenset({"v"})]
+        assert decomposition.is_valid()
+
+    def test_single_vertex_without_candidate_bags_is_infeasible(self):
+        single = Hypergraph({"e0": ["v"]})
+        solver = ConstrainedCTDSolver(single, [])
+        assert not solver.decide()
+        assert solver.solve() is None
+        assert solver.optimal_key() is None
+
+
+class TestWorklistEvents:
+    def test_reversed_probe_order_converges_to_the_same_optimum(self, h2):
+        """Force the sweep out of topological order so the worklist must fire.
+
+        With the bottom-up order reversed, nearly every initial probe finds
+        its sub-blocks unsatisfied; only the newly-satisfied and key-improved
+        events of the worklist can complete the fixpoint, so this pins down
+        the event propagation rather than the sweep.
+        """
+        bags = soft_candidate_bags(h2, 2)
+        preference = MaxBagSizePreference()
+        baseline = ConstrainedCTDSolver(h2, bags, preference=preference)
+        expected_key = baseline.optimal_key()
+        assert expected_key is not None
+
+        shuffled = ConstrainedCTDSolver(h2, bags, preference=preference)
+        order = shuffled.index.topological_order_ids()
+        shuffled.index.topological_order_ids = lambda: list(reversed(order))
+        assert shuffled.optimal_key() == expected_key
+        assert set(shuffled.satisfied_blocks()) == set(baseline.satisfied_blocks())
+
+    def test_reversed_order_with_constraint_and_cost(self, four_cycle):
+        bags = soft_candidate_bags(four_cycle, 2)
+        constraint = ConnectedCoverConstraint(four_cycle, 2)
+        preference = MonotoneCostPreference(
+            node_cost=lambda bag: len(bag) ** 2,
+            edge_cost=lambda parent, child: len(parent & child) + 1,
+        )
+        baseline = ConstrainedCTDSolver(
+            four_cycle, bags, constraint=constraint, preference=preference
+        )
+        shuffled = ConstrainedCTDSolver(
+            four_cycle, bags, constraint=constraint, preference=preference
+        )
+        order = shuffled.index.topological_order_ids()
+        shuffled.index.topological_order_ids = lambda: list(reversed(order))
+        assert shuffled.optimal_key() == baseline.optimal_key()
+
+
+class TestSolverIntrospection:
+    def test_basis_of_and_satisfied_blocks(self, four_cycle):
+        bags = soft_candidate_bags(four_cycle, 2)
+        solver = ConstrainedCTDSolver(four_cycle, bags)
+        assert solver.decide()
+        root = solver.index.root_block
+        root_basis = solver.basis_of(root)
+        assert root_basis in set(solver.index.candidate_bags)
+        satisfied = set(solver.satisfied_blocks())
+        assert root in satisfied
+        # Trivially satisfied blocks report the empty basis.
+        trivial = next(b for b in satisfied if not b.component)
+        assert solver.basis_of(trivial) == frozenset()
+
+    def test_partial_decomposition_of_root_is_the_solution(self, four_cycle):
+        bags = soft_candidate_bags(four_cycle, 2)
+        solver = ConstrainedCTDSolver(four_cycle, bags)
+        solution = solver.solve()
+        partial = solver.partial_decomposition(solver.index.root_block)
+        assert solution is not None and partial is not None
+        assert solution.canonical_form() == partial.canonical_form()
 
 
 class TestPreferenceOptimisation:

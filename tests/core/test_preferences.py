@@ -1,14 +1,17 @@
 """Unit tests for preference orders (toptds)."""
 
+from repro.core.fragments import fragment_to_decomposition, make_fragment
 from repro.core.preferences import (
     CostPreference,
     LexicographicPreference,
     MaxBagSizePreference,
+    MonotoneCostPreference,
     NodeCountPreference,
     NoPreference,
     ShallowCyclicityPreference,
 )
 from repro.decompositions.td import TreeDecomposition
+from repro.decompositions.tree import RootedTree
 
 
 def two_decompositions(four_cycle):
@@ -57,6 +60,70 @@ class TestShallowCyclicityPreference:
         assert preference.key(shallow) == 0
         assert preference.key(deep) == 1
         assert preference.is_strictly_better(shallow, deep)
+
+
+class TestMonotoneComposition:
+    """``fragment_state``/``state_key`` must agree with ``key`` on materialised TDs."""
+
+    def _fragments(self):
+        leaf_a = make_fragment(frozenset({"x", "y"}), ())
+        leaf_b = make_fragment(frozenset({"w", "x", "y", "z"}), ())
+        inner = make_fragment(frozenset({"w", "y", "z"}), (leaf_a,))
+        root = make_fragment(frozenset({"w", "x", "y"}), (inner, leaf_b))
+        return [leaf_a, leaf_b, inner, root]
+
+    def _assert_composition_matches(self, four_cycle, preference):
+        assert preference.monotone
+        states = {}
+        for fragment in self._fragments():
+            bag, children = fragment
+            states[fragment] = preference.fragment_state(
+                bag, [states[child] for child in children]
+            )
+            decomposition = fragment_to_decomposition(four_cycle, fragment)
+            assert preference.state_key(states[fragment]) == preference.key(
+                decomposition
+            )
+
+    def test_no_preference(self, four_cycle):
+        self._assert_composition_matches(four_cycle, NoPreference())
+
+    def test_node_count(self, four_cycle):
+        self._assert_composition_matches(four_cycle, NodeCountPreference())
+
+    def test_max_bag_size(self, four_cycle):
+        self._assert_composition_matches(four_cycle, MaxBagSizePreference())
+
+    def test_shallow_cyclicity(self, four_cycle):
+        self._assert_composition_matches(four_cycle, ShallowCyclicityPreference(four_cycle))
+
+    def test_monotone_cost(self, four_cycle):
+        preference = MonotoneCostPreference(
+            node_cost=lambda bag: len(bag) ** 2,
+            edge_cost=lambda parent, child: len(parent & child) + 1,
+        )
+        self._assert_composition_matches(four_cycle, preference)
+
+    def test_lexicographic_combination(self, four_cycle):
+        preference = LexicographicPreference(
+            [MaxBagSizePreference(), NodeCountPreference()]
+        )
+        self._assert_composition_matches(four_cycle, preference)
+
+    def test_lexicographic_monotone_only_if_all_parts_are(self, four_cycle):
+        mixed = LexicographicPreference(
+            [MaxBagSizePreference(), CostPreference(lambda td: 0.0)]
+        )
+        assert not mixed.monotone
+
+    def test_generic_cost_preference_is_not_monotone(self):
+        assert not CostPreference(lambda td: 0.0).monotone
+
+
+class TestMaxBagSizeEmptyDecomposition:
+    def test_key_of_bagless_partial_decomposition_is_zero(self, four_cycle):
+        empty = TreeDecomposition(four_cycle, RootedTree())
+        assert MaxBagSizePreference().key(empty) == 0
 
 
 class TestLexicographicPreference:

@@ -11,6 +11,8 @@ from repro.db.cost import (
     estimate_cost,
     make_cost_preference,
 )
+from repro.db.database import Database
+from repro.db.query import Atom, ConjunctiveQuery
 from repro.decompositions.td import TreeDecomposition
 from repro.workloads.tpcds import build_tpcds_database, tpcds_query_qds
 
@@ -84,6 +86,44 @@ class TestEstimateCostModel:
     def test_semijoin_extra_cost_at_least_one(self, triangle_database, triangle_query):
         model = EstimateCostModel(triangle_query, triangle_database)
         assert model._semijoin_extra_cost(frozenset({"x", "y"}), frozenset({"y", "z"})) >= 1.0
+
+    def test_semijoin_extra_cost_depends_on_the_child_bag(self):
+        # Equation (6): the semi-join term is C(J_p ⋉ J_c) − C(J_p) − C(J_c),
+        # so two different children of the same parent must be able to yield
+        # different extra costs.  Regression test for the bug where the
+        # child bag was ignored and the term degenerated to the parent's
+        # join cardinality.
+        database = Database()
+        database.create_table("R", ["a", "b"], [(i, i % 3) for i in range(30)])
+        database.create_table("S", ["b", "c"], [(i % 3, i) for i in range(200)])
+        database.create_table("T", ["c", "d"], [(i, i) for i in range(5)])
+        query = ConjunctiveQuery(
+            atoms=[
+                Atom("R", "R", ("a", "b"), ("x", "y")),
+                Atom("S", "S", ("b", "c"), ("y", "z")),
+                Atom("T", "T", ("c", "d"), ("z", "w")),
+            ],
+            name="path",
+        )
+        model = EstimateCostModel(query, database)
+        parent = frozenset({"y", "z"})
+        small_child = frozenset({"z", "w"})
+        large_child = frozenset({"x", "y"})
+        small_cost = model._semijoin_extra_cost(parent, small_child)
+        large_cost = model._semijoin_extra_cost(parent, large_child)
+        assert small_cost >= 1.0 and large_cost >= 1.0
+        assert small_cost != large_cost
+
+    def test_estimate_preference_is_monotone(self, triangle_database, triangle_query):
+        preference = make_cost_preference("estimates", triangle_query, triangle_database)
+        assert preference.monotone
+        model = EstimateCostModel(triangle_query, triangle_database)
+        decomposition = TreeDecomposition.from_bags(
+            triangle_query.hypergraph(),
+            [{"x", "y", "z"}, {"x", "y"}],
+            [None, 0],
+        )
+        assert preference.key(decomposition) == model.decomposition_cost(decomposition)
 
 
 class TestCostPreferences:

@@ -9,11 +9,15 @@ return must be a valid CompNF CTD over those bags.
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core.candidate_bags import soft_candidate_bags
-from repro.core.constrained import constrained_candidate_td
+from repro.core.constrained import ConstrainedCTDSolver, constrained_candidate_td
 from repro.core.constraints import ConnectedCoverConstraint
-from repro.core.ctd import candidate_td
+from repro.core.ctd import CandidateTDSolver, candidate_td
 from repro.core.enumerate import enumerate_ctds
-from repro.core.preferences import MaxBagSizePreference, NodeCountPreference
+from repro.core.preferences import (
+    LexicographicPreference,
+    MaxBagSizePreference,
+    NodeCountPreference,
+)
 
 from tests.property.test_property_invariants import small_hypergraphs
 
@@ -75,3 +79,34 @@ class TestSolverAgreement:
         if result is not None:
             assert result.is_valid()
             assert constraint.holds_recursively(result)
+
+    @SETTINGS
+    @given(small_hypergraphs(max_vertices=6, max_edges=6))
+    def test_unconstrained_algorithm2_matches_algorithm1_block_for_block(
+        self, hypergraph
+    ):
+        # With the trivial constraint and preference, Algorithm 2's fixpoint
+        # must satisfy exactly the blocks Algorithm 1 satisfies.
+        bags = soft_candidate_bags(hypergraph, 2)
+        plain = CandidateTDSolver(hypergraph, bags)
+        constrained = ConstrainedCTDSolver(hypergraph, bags)
+        assert set(plain.satisfied_blocks()) == set(constrained.satisfied_blocks())
+        assert plain.decide() == constrained.decide()
+
+    @SETTINGS
+    @given(small_hypergraphs(max_vertices=5, max_edges=5))
+    def test_enumerator_best_matches_constrained_optimum(self, hypergraph):
+        # On instances small enough for the beam to be exact, the head of the
+        # ranked enumeration and Algorithm 2's optimum carry the same key.
+        bags = soft_candidate_bags(hypergraph, 2)
+        preference = LexicographicPreference(
+            [MaxBagSizePreference(), NodeCountPreference()]
+        )
+        solver = ConstrainedCTDSolver(hypergraph, bags, preference=preference)
+        enumerated = enumerate_ctds(hypergraph, bags, preference=preference, limit=1)
+        optimal_key = solver.optimal_key()
+        if optimal_key is None:
+            assert not enumerated
+        else:
+            assert enumerated
+            assert preference.key(enumerated[0]) == optimal_key
