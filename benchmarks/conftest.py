@@ -13,7 +13,9 @@ effort), not the wall-clock time of regenerating the figure itself.
 
 from __future__ import annotations
 
+import math
 import os
+import time
 
 import pytest
 
@@ -32,6 +34,22 @@ def write_result(name: str, text: str) -> str:
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(text + "\n")
     return path
+
+
+def best_of(callable_, repeats: int) -> float:
+    """Best wall-clock time of ``repeats`` runs (shared by the speedup benches)."""
+    best = math.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def geomean(values):
+    """Geometric mean of the positive values (``None`` if there are none)."""
+    values = [v for v in values if v > 0]
+    return math.exp(sum(math.log(v) for v in values) / len(values)) if values else None
 
 
 @pytest.fixture

@@ -19,12 +19,10 @@ the worklist solver takes best-of-3 to measure its steady state.
 from __future__ import annotations
 
 import json
-import math
 import os
 import platform
-import time
 
-from conftest import RESULTS_DIR
+from conftest import RESULTS_DIR, best_of as _best_of, geomean as _geomean
 
 from repro.core.candidate_bags import soft_candidate_bags
 from repro.core.constrained import ConstrainedCTDSolver
@@ -95,20 +93,6 @@ def _instances():
             lambda h: _synthetic_cost(),
         ),
     ]
-
-
-def _best_of(callable_, repeats: int) -> float:
-    best = math.inf
-    for _ in range(repeats):
-        start = time.perf_counter()
-        callable_()
-        best = min(best, time.perf_counter() - start)
-    return best
-
-
-def _geomean(values):
-    values = [v for v in values if v > 0]
-    return math.exp(sum(math.log(v) for v in values) / len(values)) if values else None
 
 
 def test_constrained_speedup_vs_reference():

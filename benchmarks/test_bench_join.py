@@ -23,15 +23,13 @@ side); the columnar engine takes best-of-3 after a warm-up.
 from __future__ import annotations
 
 import json
-import math
 import os
 import platform
 import random
-import time
 
 import pytest
 
-from conftest import RESULTS_DIR
+from conftest import RESULTS_DIR, best_of as _best_of, geomean as _geomean
 
 from repro.core.candidate_bags import soft_candidate_bags
 from repro.core.enumerate import enumerate_ctds
@@ -44,20 +42,6 @@ from repro.workloads.registry import benchmark_queries
 #: numpy dispatch overhead is amortised, small enough that the reference
 #: engine still finishes each query in well under a second.
 WORKLOAD_SCALE = 2.0
-
-
-def _best_of(callable_, repeats: int) -> float:
-    best = math.inf
-    for _ in range(repeats):
-        start = time.perf_counter()
-        callable_()
-        best = min(best, time.perf_counter() - start)
-    return best
-
-
-def _geomean(values):
-    values = [v for v in values if v > 0]
-    return math.exp(sum(math.log(v) for v in values) / len(values)) if values else None
 
 
 def _skewed_column(rng: random.Random, size: int, domain: int, hub_fraction=0.08):

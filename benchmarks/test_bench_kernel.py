@@ -19,14 +19,12 @@ side); the kernel takes best-of-3 to measure its steady state.
 from __future__ import annotations
 
 import json
-import math
 import os
 import platform
-import time
 
 import pytest
 
-from conftest import RESULTS_DIR
+from conftest import RESULTS_DIR, best_of as _best_of, geomean as _geomean
 
 from repro.core.candidate_bags import SoftBagGenerator
 from repro.core.ctd import CandidateTDSolver
@@ -51,20 +49,6 @@ def _instances():
         # Generation-only: the reference fixpoint solver needs minutes here.
         ("random32-k3", random_hypergraph(32, 24, max_edge_size=3, seed=11), 3, False, False),
     ]
-
-
-def _best_of(callable_, repeats: int) -> float:
-    best = math.inf
-    for _ in range(repeats):
-        start = time.perf_counter()
-        callable_()
-        best = min(best, time.perf_counter() - start)
-    return best
-
-
-def _geomean(values):
-    values = [v for v in values if v > 0]
-    return math.exp(sum(math.log(v) for v in values) / len(values)) if values else None
 
 
 def test_kernel_speedup_vs_reference():

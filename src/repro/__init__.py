@@ -19,6 +19,7 @@ from repro.hypergraph.library import (
 from repro.core import (
     candidate_td,
     constrained_candidate_td,
+    CTDEnumerator,
     enumerate_ctds,
     soft_candidate_bags,
     soft_hypertree_width,
@@ -40,6 +41,7 @@ __all__ = [
     "hypergraph_h3_prime",
     "candidate_td",
     "constrained_candidate_td",
+    "CTDEnumerator",
     "enumerate_ctds",
     "soft_candidate_bags",
     "soft_hypertree_width",

@@ -7,7 +7,9 @@
 * soft hypertree width ``shw`` and the hierarchy ``shw_i``,
 * subtree constraints (ConCov, ShallowCyc_d, PartClust) and preference
   orders (toptds),
-* top-n enumeration of candidate tree decompositions ranked by cost,
+* exact lazy any-k (top-k) enumeration of candidate tree decompositions
+  ranked by a preference, on the same shared solver core as Algorithms 1
+  and 2,
 * the (Institutional) Robber and Marshals games of Appendix A.1.
 """
 
@@ -25,6 +27,7 @@ from repro.core.candidate_bags import (
     soft_candidate_bags,
 )
 from repro.core.blocks import Block, BlockIndex
+from repro.core.options import FragmentEvaluator, SolverCore
 from repro.core.ctd import CandidateTDSolver, candidate_td
 from repro.core.constraints import (
     AndConstraint,
@@ -37,12 +40,15 @@ from repro.core.constraints import (
 from repro.core.preferences import (
     CostPreference,
     LexicographicPreference,
+    MaxBagSizePreference,
+    MonotoneCostPreference,
     NodeCountPreference,
+    NoPreference,
     Preference,
     ShallowCyclicityPreference,
 )
 from repro.core.constrained import ConstrainedCTDSolver, constrained_candidate_td
-from repro.core.enumerate import enumerate_ctds
+from repro.core.enumerate import CTDEnumerator, enumerate_ctds
 from repro.core.soft import (
     soft_decomposition,
     soft_decomposition_to_ghd,
@@ -69,6 +75,8 @@ __all__ = [
     "soft_bag",
     "Block",
     "BlockIndex",
+    "FragmentEvaluator",
+    "SolverCore",
     "CandidateTDSolver",
     "candidate_td",
     "SubtreeConstraint",
@@ -79,11 +87,15 @@ __all__ = [
     "PartitionClusteringConstraint",
     "Preference",
     "CostPreference",
+    "MonotoneCostPreference",
+    "NoPreference",
     "NodeCountPreference",
+    "MaxBagSizePreference",
     "ShallowCyclicityPreference",
     "LexicographicPreference",
     "ConstrainedCTDSolver",
     "constrained_candidate_td",
+    "CTDEnumerator",
     "enumerate_ctds",
     "soft_hypertree_width",
     "soft_decomposition",

@@ -290,7 +290,9 @@ class BlockIndex:
         trivially satisfied empty-component sub-blocks dropped: only the
         remaining *live* subs gate condition 3 and contribute subtrees to the
         induced partial decomposition.  This is the probe set Algorithm 2's
-        worklist re-examines, so it is memoised per block.
+        worklist re-examines and the lazy enumerator builds its option
+        streams over (via :meth:`repro.core.options.SolverCore.probe_tables`),
+        so it is memoised per block.
         """
         cached = self._probe_cache.get(block_id)
         if cached is not None:

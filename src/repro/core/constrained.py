@@ -12,12 +12,16 @@ but with the preference folded into the re-probe condition:
 
 * only statically feasible (candidate, block) pairs are ever probed — the
   satisfaction-independent basis conditions are memoised per pair in
-  :meth:`repro.core.blocks.BlockIndex.candidate_probes`;
+  :meth:`repro.core.blocks.BlockIndex.candidate_probes`, and the probe
+  tables with their event-routing reverse map come from the shared solver
+  core (:class:`repro.core.options.SolverCore`, also driving Algorithm 1
+  and the exact ranked enumerator);
 * every block keeps one best entry ``(preference key, fragment)``; partial
   decompositions are immutable ``(bag, children)`` fragments
   (:mod:`repro.core.fragments`) assembled from the current best fragments of
   the candidate's sub-blocks, so constraint checks and preference keys are
-  evaluated once per distinct fragment, not once per probe;
+  evaluated once per distinct fragment, not once per probe
+  (:class:`repro.core.options.FragmentEvaluator`);
 * a worklist drives re-probing with two event kinds: a sub-block becoming
   *newly satisfied* (it can complete a waiting basis, as in Algorithm 1) and
   a sub-block's best key *improving* (it changes the fragments the blocks
@@ -42,18 +46,15 @@ and ``benchmarks/test_bench_constrained.py`` tracks the speedup.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import FrozenSet, Iterable, List, Optional
 
 from repro.hypergraph.hypergraph import Hypergraph, Vertex
 from repro.decompositions.td import TreeDecomposition
-from repro.decompositions.tree import RootedTree
-from repro.core.blocks import Bag, Block, BlockIndex
-from repro.core.constraints import NoConstraint, SubtreeConstraint
-from repro.core.fragments import Fragment, fragment_to_decomposition, make_fragment
-from repro.core.preferences import NoPreference, Preference
-
-#: Marks a fragment rejected by the constraint in the per-fragment memo.
-_REJECTED = object()
+from repro.core.blocks import Bag, Block
+from repro.core.constraints import SubtreeConstraint
+from repro.core.fragments import Fragment, make_fragment
+from repro.core.options import _REJECTED, SolverCore
+from repro.core.preferences import Preference
 
 
 class ConstrainedCTDSolver:
@@ -66,19 +67,15 @@ class ConstrainedCTDSolver:
         constraint: Optional[SubtreeConstraint] = None,
         preference: Optional[Preference] = None,
     ):
+        # The shared core (repro.core.options) carries the filtered bag set,
+        # the block index, the probe tables and the per-fragment memo tables
+        # that turn the per-probe decomposition rebuilds of the seed DP into
+        # dict lookups.
+        self.core = SolverCore(hypergraph, candidate_bags, constraint, preference)
         self.hypergraph = hypergraph
-        self.constraint = constraint if constraint is not None else NoConstraint()
-        self.preference = preference if preference is not None else NoPreference()
-        filtered = self.constraint.filter_bags(
-            {frozenset(bag) for bag in candidate_bags if bag}
-        )
-        self.index = BlockIndex(hypergraph, filtered)
-        # fragment -> _REJECTED | (key, state).  A fragment's evaluation only
-        # depends on the fragment itself (its children are compliant by the
-        # invariant below), so this cache is what turns the per-probe
-        # decomposition rebuilds of the seed DP into dict lookups.
-        self._fragment_eval: Dict[Fragment, object] = {}
-        self._fragment_td: Dict[Fragment, TreeDecomposition] = {}
+        self.constraint = self.core.constraint
+        self.preference = self.core.preference
+        self.index = self.core.index
         # Dense per-block state, filled by _run.  Invariant: a non-None
         # fragment entry always satisfies the constraint on every subtree.
         self._satisfied: Optional[bytearray] = None
@@ -90,38 +87,16 @@ class ConstrainedCTDSolver:
     # -- fragment evaluation ---------------------------------------------------
 
     def _materialise(self, fragment: Fragment) -> TreeDecomposition:
-        decomposition = self._fragment_td.get(fragment)
-        if decomposition is None:
-            decomposition = fragment_to_decomposition(self.hypergraph, fragment)
-            self._fragment_td[fragment] = decomposition
-        return decomposition
+        return self.core.evaluator.materialise(fragment)
 
     def _evaluate_fragment(self, fragment: Fragment) -> object:
         """``(key, state)`` of a compliant fragment, or ``_REJECTED``.
 
         The fragment's children are best entries of their blocks, hence
-        already constraint-compliant on every subtree — so compliance of the
-        whole fragment reduces to ``𝒞.holds`` on the fragment itself, and a
-        monotone preference key composes from the memoised child states.
+        already constraint-compliant on every subtree — so the memoised
+        evaluation of the shared core applies directly.
         """
-        cached = self._fragment_eval.get(fragment)
-        if cached is not None:
-            return cached
-        if not self.constraint.trivial and not self.constraint.holds(
-            self._materialise(fragment)
-        ):
-            self._fragment_eval[fragment] = _REJECTED
-            return _REJECTED
-        preference = self.preference
-        if preference.monotone:
-            bag, children = fragment
-            child_states = [self._fragment_eval[child][1] for child in children]
-            state = preference.fragment_state(bag, child_states)
-            result = (preference.state_key(state), state)
-        else:
-            result = (preference.key(self._materialise(fragment)), None)
-        self._fragment_eval[fragment] = result
-        return result
+        return self.core.evaluator.evaluate(fragment)
 
     # -- Algorithm 2 -----------------------------------------------------------------
 
@@ -193,18 +168,7 @@ class ConstrainedCTDSolver:
 
         # Static probe tables: feasible candidates per block and the reverse
         # sub-block -> dependent-blocks map that routes worklist events.
-        probes: List[Tuple] = [()] * block_count
-        parents: Dict[int, List[int]] = {}
-        for block_id in range(block_count):
-            if not component_masks[block_id]:
-                continue
-            block_probes = index.candidate_probes(block_id)
-            probes[block_id] = block_probes
-            for _, live_subs in block_probes:
-                for sub in live_subs:
-                    dependents = parents.setdefault(sub, [])
-                    if not dependents or dependents[-1] != block_id:
-                        dependents.append(block_id)
+        probes, parents = self.core.probe_tables()
 
         queue: deque = deque()
         in_queue = bytearray(block_count)
@@ -230,17 +194,8 @@ class ConstrainedCTDSolver:
     # -- public API ----------------------------------------------------------------------
 
     def _trivial_decomposition(self) -> Optional[TreeDecomposition]:
-        """The vertex-less hypergraph's single-empty-bag CTD, if compliant.
-
-        This path never went through a probe, so it is the one place the
-        constraint still has to be consulted after the fixpoint.
-        """
-        tree = RootedTree()
-        tree.new_node(None, bag=frozenset())
-        decomposition = TreeDecomposition(self.hypergraph, tree)
-        if not self.constraint.holds_recursively(decomposition):
-            return None
-        return decomposition
+        """The vertex-less hypergraph's single-empty-bag CTD, if compliant."""
+        return self.core.trivial_decomposition()
 
     def decide(self) -> bool:
         """``True`` iff a constraint-compliant CompNF CTD exists."""

@@ -10,13 +10,22 @@ of round-robin over the full (block × candidate) cross product:
 * candidate bags are indexed by the block unions they fit inside
   (``X ⊆ S ∪ C`` is a necessary condition for ``X`` to be a basis of
   ``(S, C)``), so only feasible (candidate, block) pairs are ever probed;
-* the satisfaction-independent basis conditions are evaluated once per pair
-  (memoised in :meth:`BlockIndex.basis_subs`);
+* the satisfaction-independent basis conditions are evaluated inline,
+  at most once per pair: the decide-only fixpoint stops at a block's
+  *first* basis, so — unlike Algorithm 2 and the ranked enumerator, which
+  need every block's *complete* probe set and share the memoised
+  :meth:`repro.core.blocks.BlockIndex.candidate_probes` tables through
+  :meth:`repro.core.options.SolverCore.probe_tables` — materialising full
+  probe tables here would only add overhead;
 * a worklist keyed on newly-satisfied blocks drives re-probing: a block
   ``(S, C)`` can only become satisfiable when one of the sub-blocks of some
   candidate becomes satisfied, and those sub-blocks are exactly the blocks
   headed by that candidate, so each satisfaction event re-probes just the
   pairs whose candidate equals the event block's head.
+
+Construction (constraint-filtered candidate set, block index, the trivial
+decomposition of the vertex-less hypergraph) is shared with the other two
+solvers via :class:`repro.core.options.SolverCore`.
 
 The result (satisfied blocks and the accept decision) is identical to the
 seed's round-robin fixpoint, kept as
@@ -31,7 +40,8 @@ from typing import Dict, FrozenSet, Iterable, List, Optional
 from repro.hypergraph.hypergraph import Hypergraph, Vertex
 from repro.decompositions.td import TreeDecomposition
 from repro.decompositions.tree import RootedTree, TreeNode
-from repro.core.blocks import Bag, Block, BlockIndex
+from repro.core.blocks import Bag, Block
+from repro.core.options import SolverCore
 
 
 class CandidateTDSolver:
@@ -39,7 +49,8 @@ class CandidateTDSolver:
 
     def __init__(self, hypergraph: Hypergraph, candidate_bags: Iterable[Bag]):
         self.hypergraph = hypergraph
-        self.index = BlockIndex(hypergraph, candidate_bags)
+        self.core = SolverCore(hypergraph, candidate_bags)
+        self.index = self.core.index
         self._basis: Dict[Block, Optional[Bag]] = {}
         self._satisfied: Dict[Block, bool] = {}
         self._solved = False
@@ -74,8 +85,9 @@ class CandidateTDSolver:
         # Bottom-up pass: probe each block's fitting candidates until one is
         # a basis; register the statically-feasible failures as waiters.
         # The static conditions are evaluated inline (cf.
-        # BlockIndex.basis_sub_ids) — each pair is visited at most once, so
-        # memoisation would only add overhead on this path.
+        # BlockIndex.basis_sub_ids) — the scan stops at the first basis and
+        # each pair is visited at most once, so the complete memoised probe
+        # tables of SolverCore.probe_tables would only add overhead here.
         for block_id in order:
             if satisfied[block_id]:
                 continue
@@ -184,11 +196,12 @@ class CandidateTDSolver:
         root_block = self.index.root_block
         basis = self._basis[root_block]
         assert basis is not None
-        tree = RootedTree()
         if not root_block.component:
             # Vertex-less hypergraph: the trivial single-empty-bag CTD.
-            tree.new_node(None, bag=frozenset())
-            return TreeDecomposition(self.hypergraph, tree)
+            trivial = self.core.trivial_decomposition()
+            assert trivial is not None  # no constraint can reject it here
+            return trivial
+        tree = RootedTree()
         root_node = tree.new_node(None, bag=basis)
         for sub in self.index.sub_blocks(basis, root_block):
             if sub.component:

@@ -1,33 +1,196 @@
-"""Ranked enumeration of candidate tree decompositions.
+"""Exact lazy any-k ranked enumeration of candidate tree decompositions.
 
 The experiments of Section 7 need more than a single optimal decomposition:
 they evaluate the top-10 cheapest CTDs per query, and compare random CTDs
 with and without the ConCov constraint.  This module enumerates CompNF CTDs
-over a candidate bag set bottom-up over blocks (the same dynamic-programming
-structure as Algorithms 1 and 2), keeping a beam of the best partial
-decompositions per block, and returns the cheapest ``limit`` distinct
-decompositions according to a preference order.
+over a candidate bag set in *exact* preference order: ``enumerate(limit=k)``
+returns the true ``k`` best distinct decompositions, however large the
+option space is.  The pre-PR-4 eager beam (``beam`` / per-basis combination
+caps that silently truncated options) is gone; both parameters survive as
+deprecated no-ops.
 
-Real-world candidate bag sets are tiny (Table 1 of the paper reports 9–25
-bags), so with the default beam this enumeration is exact for the instances
-the benchmarks use.
+The enumeration runs over the same block dynamic program as Algorithms 1
+and 2, via the shared :class:`repro.core.options.SolverCore`:
+
+* every block with a component has one *option stream* per statically
+  feasible probe ``(candidate, live sub-blocks)``
+  (:meth:`repro.core.blocks.BlockIndex.candidate_probes`): the fragments
+  rooted at the candidate, in ``(preference key, canonical tie key)`` order;
+* a probe stream is produced Lawler-style: a heap of *configurations*
+  (one option index per live sub-block) seeded with ``(0, …, 0)``; popping
+  the best configuration emits its fragment and pushes the one-step
+  *deviations* (one index advanced).  Constraint-rejected fragments are
+  skipped but still expanded, so their successors are never lost;
+* a probe's child slot does not consume the sub-block's options in the
+  sub-block's own key order but in *parent-contribution* order — the
+  sub-block's probe streams merged by
+  :meth:`repro.core.preferences.Preference.child_rank_key` under the
+  parent's bag.  This is what keeps Equation (6) costs exact: two subtrees
+  with equal cost but different root bags contribute differently to the
+  parent through the parent→child edge term;
+* the root block's merged stream (ranked by the fragments' own keys) yields
+  the final decompositions, deduplicated by canonical form.
+
+Keys compose bottom-up through the shared fragment memo tables
+(:class:`repro.core.options.FragmentEvaluator`) for monotone preferences —
+a candidate fragment is never materialised as a :class:`TreeDecomposition`
+unless a non-trivial constraint needs to inspect it.
+
+Laziness requires the preference to certify the ``order_monotone`` contract
+(see :mod:`repro.core.preferences`).  Preferences that cannot — arbitrary
+non-monotone cost callables, shallow cyclicity, unsafe lexicographic
+combinations — take the exhaustive path instead: every block's full option
+list is built bottom-up (no beam, no caps) and sorted by the same composite
+order, which is equally exact, merely not lazy.  Ties are always broken by
+:func:`repro.core.fragments.fragment_sort_key` — canonical sorted-vertex
+tuples, never ``repr`` — so the ranking is reproducible across processes
+and hash seeds.  The brute-force specification this module is
+property-tested against is
+:func:`repro.core.reference.reference_enumerate_ctds`.
 """
 
 from __future__ import annotations
 
+import warnings
+from heapq import heappop, heappush
 from itertools import islice, product
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
 from repro.hypergraph.hypergraph import Hypergraph, Vertex
 from repro.decompositions.td import TreeDecomposition
-from repro.core.blocks import Bag, Block, BlockIndex
-from repro.core.constraints import NoConstraint, SubtreeConstraint
+from repro.core.blocks import Bag
+from repro.core.constraints import SubtreeConstraint
 from repro.core.fragments import (
     Fragment,
+    fragment_sort_key,
     fragment_to_decomposition,
     make_fragment,
 )
-from repro.core.preferences import NoPreference, Preference
+from repro.core.options import SolverCore
+from repro.core.preferences import Preference
+
+__all__ = ["CTDEnumerator", "enumerate_ctds", "fragment_to_decomposition"]
+
+#: A ranked option: ``(key, tie, state, fragment)``.  ``tie`` is the
+#: canonical fragment sort key, so ``(key, tie)`` is a total order.
+_Entry = Tuple
+
+
+def _deprecated_parameter(name: str) -> None:
+    # stacklevel 3: _deprecated_parameter -> CTDEnumerator.__init__ /
+    # enumerate_ctds -> the deprecated call site.  Both public entry points
+    # call this directly so the warning is attributed to user code.
+    warnings.warn(
+        f"enumerate_ctds is exact; the {name!r} parameter no longer has any "
+        "effect and will be removed",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+class _ProbeStream:
+    """One block probe's fragments in exact ``(key, tie)`` order.
+
+    Lawler-style successor enumeration: a configuration assigns each live
+    sub-block an index into its merged (parent-contribution ordered) option
+    list; the heap pops configurations by the composed fragment's exact
+    ``(key, tie)`` and pushes the one-step deviations of whatever it pops.
+    The ``order_monotone`` contract guarantees a deviation never composes a
+    fragment that sorts before its origin, so emission order is exact.
+    """
+
+    def __init__(self, enumerator: "CTDEnumerator", cand_id: int, live_subs):
+        self._enumerator = enumerator
+        self._bag = enumerator.core.index.candidate_bags[cand_id]
+        self._merges = [
+            enumerator._merged_stream(sub, self._bag) for sub in live_subs
+        ]
+        self._heap: List[Tuple] = []
+        self._emitted: List[_Entry] = []
+        self._seen_configs = set()
+        self._push((0,) * len(self._merges))
+
+    def _push(self, config: Tuple[int, ...]) -> None:
+        if config in self._seen_configs:
+            return
+        self._seen_configs.add(config)
+        children = []
+        for merge, position in zip(self._merges, config):
+            entry = merge.get(position)
+            if entry is None:
+                # This slot's stream is exhausted; every deviation of the
+                # config shares the index, so the whole config is dead.
+                return
+            children.append(entry[3])
+        fragment = make_fragment(self._bag, children)
+        key, state = self._enumerator.core.evaluator.state_of(fragment)
+        heappush(
+            self._heap, (key, fragment_sort_key(fragment), config, state, fragment)
+        )
+
+    def get(self, i: int) -> Optional[_Entry]:
+        """The ``i``-th compliant option, or ``None`` if fewer exist."""
+        emitted = self._emitted
+        while len(emitted) <= i and self._heap:
+            key, tie, config, state, fragment = heappop(self._heap)
+            for slot in range(len(config)):
+                deviation = (
+                    config[:slot] + (config[slot] + 1,) + config[slot + 1 :]
+                )
+                self._push(deviation)
+            if self._enumerator.core.evaluator.compliant(fragment):
+                emitted.append((key, tie, state, fragment))
+        return emitted[i] if i < len(emitted) else None
+
+
+class _MergedStream:
+    """A block's options across all its probes, in parent-contribution order.
+
+    ``parent_bag`` identifies the consumer: options are ranked by
+    ``preference.child_rank_key(parent_bag, state)`` (the fragments' own
+    keys when ``parent_bag`` is ``None``, i.e. at the root).  Each probe
+    stream is already sorted consistently with any parent's contribution
+    order (rank is a strictly monotone function of the key for a fixed root
+    bag), so a heap of per-probe cursors yields the exact merged order.
+    """
+
+    def __init__(self, enumerator: "CTDEnumerator", block_id: int, parent_bag):
+        self._enumerator = enumerator
+        self._block_id = block_id
+        self._parent_bag = parent_bag
+        self._heap: Optional[List[Tuple]] = None
+        self._entries: List[_Entry] = []
+
+    def _rank(self, entry: _Entry):
+        return self._enumerator.core.preference.child_rank_key(
+            self._parent_bag, entry[2]
+        )
+
+    def _initialise(self) -> None:
+        self._heap = []
+        probes = self._enumerator._probes[self._block_id]
+        for probe_idx in range(len(probes)):
+            stream = self._enumerator._probe_stream(self._block_id, probe_idx)
+            entry = stream.get(0)
+            if entry is not None:
+                heappush(self._heap, (self._rank(entry), entry[1], probe_idx, 0))
+
+    def get(self, i: int) -> Optional[_Entry]:
+        """The ``i``-th option over all probes, or ``None`` if fewer exist."""
+        if self._heap is None:
+            self._initialise()
+        entries = self._entries
+        while len(entries) <= i and self._heap:
+            _, _, probe_idx, position = heappop(self._heap)
+            stream = self._enumerator._probe_stream(self._block_id, probe_idx)
+            entries.append(stream.get(position))
+            advanced = stream.get(position + 1)
+            if advanced is not None:
+                heappush(
+                    self._heap,
+                    (self._rank(advanced), advanced[1], probe_idx, position + 1),
+                )
+        return entries[i] if i < len(entries) else None
 
 
 class CTDEnumerator:
@@ -39,97 +202,124 @@ class CTDEnumerator:
         candidate_bags: Iterable[Bag],
         constraint: Optional[SubtreeConstraint] = None,
         preference: Optional[Preference] = None,
-        beam: int = 32,
-        combinations_per_basis: int = 64,
+        beam: Optional[int] = None,
+        combinations_per_basis: Optional[int] = None,
     ):
+        if beam is not None:
+            _deprecated_parameter("beam")
+        if combinations_per_basis is not None:
+            _deprecated_parameter("combinations_per_basis")
+        self.core = SolverCore(hypergraph, candidate_bags, constraint, preference)
         self.hypergraph = hypergraph
-        self.constraint = constraint if constraint is not None else NoConstraint()
-        self.preference = preference if preference is not None else NoPreference()
-        filtered = self.constraint.filter_bags(
-            {frozenset(bag) for bag in candidate_bags if bag}
-        )
-        self.index = BlockIndex(hypergraph, filtered)
-        self.beam = beam
-        self.combinations_per_basis = combinations_per_basis
-        self._options: Dict[Block, List[Tuple[object, Fragment]]] = {}
+        self.constraint = self.core.constraint
+        self.preference = self.core.preference
+        self.index = self.core.index
+        self._probes = self.core.probe_tables()[0]
+        self._lazy = self.preference.monotone and self.preference.order_monotone
+        self._probe_streams: Dict[Tuple[int, int], _ProbeStream] = {}
+        self._merged_streams: Dict[Tuple[int, Bag], _MergedStream] = {}
+        self._exhaustive: Optional[List[List[_Entry]]] = None
 
-    # -- enumeration over blocks ----------------------------------------------------
+    # -- lazy streams ----------------------------------------------------------
 
-    def _key(self, fragment: Fragment):
-        # Partial decompositions are the subtrees rooted at the basis node;
-        # the block head (the parent's bag) is evaluated at the parent level.
-        decomposition = fragment_to_decomposition(self.hypergraph, fragment)
-        return self.preference.key(decomposition)
+    def _probe_stream(self, block_id: int, probe_idx: int) -> _ProbeStream:
+        key = (block_id, probe_idx)
+        stream = self._probe_streams.get(key)
+        if stream is None:
+            cand_id, live_subs = self._probes[block_id][probe_idx]
+            stream = _ProbeStream(self, cand_id, live_subs)
+            self._probe_streams[key] = stream
+        return stream
 
-    def _satisfies_constraint(self, fragment: Fragment) -> bool:
-        decomposition = fragment_to_decomposition(self.hypergraph, fragment)
-        return self.constraint.holds_recursively(decomposition)
+    def _merged_stream(self, block_id: int, parent_bag) -> _MergedStream:
+        key = (block_id, parent_bag)
+        stream = self._merged_streams.get(key)
+        if stream is None:
+            stream = _MergedStream(self, block_id, parent_bag)
+            self._merged_streams[key] = stream
+        return stream
 
-    def _enumerate_block(self, block: Block) -> List[Tuple[object, Fragment]]:
-        """Options (ranked fragments rooted at a basis bag) for a block."""
-        if block in self._options:
-            return self._options[block]
-        options: Dict[Fragment, object] = {}
-        for candidate in self.index.candidate_bags:
-            if candidate == block.head:
+    # -- exhaustive fallback ---------------------------------------------------
+
+    def _exhaustive_options(self) -> List[List[_Entry]]:
+        """Full sorted option tables, bottom-up — exact without laziness.
+
+        Used when the preference cannot certify ``order_monotone``.  Keys
+        still compose through the shared fragment memo (or the memoised
+        materialisation for non-monotone preferences); nothing is truncated.
+        """
+        if self._exhaustive is not None:
+            return self._exhaustive
+        index = self.index
+        evaluator = self.core.evaluator
+        component_masks = index.mask_arrays()[1]
+        candidate_bags = index.candidate_bags
+        options: List[List[_Entry]] = [[] for _ in range(index.block_count())]
+        for block_id in index.topological_order_ids():
+            if not component_masks[block_id]:
                 continue
-            if not candidate <= block.union:
-                continue
-            subs = self.index.sub_blocks(candidate, block)
-            non_trivial = [sub for sub in subs if sub.component]
-            # Mirror of the basis conditions 1 and 2.
-            covered = set(candidate)
-            for sub in subs:
-                covered.update(sub.component)
-            if not block.component <= covered:
-                continue
-            if any(
-                edge.vertices & block.component and not edge.vertices <= covered
-                for edge in self.hypergraph.edges
-            ):
-                continue
-            sub_option_lists = [self._options.get(sub, []) for sub in non_trivial]
-            if any(not opts for opts in sub_option_lists):
-                continue
-            child_lists = [
-                [fragment for _, fragment in opts] for opts in sub_option_lists
-            ]
-            for combination in islice(
-                product(*child_lists), self.combinations_per_basis
-            ):
-                fragment = make_fragment(candidate, tuple(combination))
-                if fragment in options:
+            block_options: List[_Entry] = []
+            for cand_id, live_subs in self._probes[block_id]:
+                child_lists = [options[sub] for sub in live_subs]
+                if any(not child_list for child_list in child_lists):
                     continue
-                if not self._satisfies_constraint(fragment):
-                    continue
-                options[fragment] = self._key(fragment)
-        ranked = sorted(options.items(), key=lambda item: (item[1], repr(item[0])))
-        result = [(key, fragment) for fragment, key in ranked[: self.beam]]
-        self._options[block] = result
-        return result
+                bag = candidate_bags[cand_id]
+                for combination in product(*child_lists):
+                    fragment = make_fragment(
+                        bag, [entry[3] for entry in combination]
+                    )
+                    if not evaluator.compliant(fragment):
+                        continue
+                    key, state = evaluator.state_of(fragment)
+                    block_options.append(
+                        (key, fragment_sort_key(fragment), state, fragment)
+                    )
+            block_options.sort(key=lambda entry: (entry[0], entry[1]))
+            options[block_id] = block_options
+        self._exhaustive = options
+        return options
 
-    def enumerate(self, limit: int = 10) -> List[TreeDecomposition]:
-        """The ``limit`` best distinct CTDs (may be fewer if fewer exist)."""
-        for block in self.index.topological_order():
-            if block.component:
-                self._enumerate_block(block)
-            else:
-                self._options[block] = [(0, None)]
-        root_options = self._options.get(self.index.root_block, [])
-        decompositions = []
+    # -- enumeration -----------------------------------------------------------
+
+    def _root_entries(self, root_id: int) -> Iterator[_Entry]:
+        if self._lazy:
+            stream = self._merged_stream(root_id, None)
+            position = 0
+            while True:
+                entry = stream.get(position)
+                if entry is None:
+                    return
+                yield entry
+                position += 1
+        else:
+            yield from self._exhaustive_options()[root_id]
+
+    def iter_decompositions(self) -> Iterator[TreeDecomposition]:
+        """All distinct CTDs in exact ``(preference, canonical tie)`` order."""
+        index = self.index
+        root_id = index.block_id(index.root_block)
+        assert root_id is not None
+        if not index.mask_arrays()[1][root_id]:
+            # Vertex-less hypergraph: the single-empty-bag CTD is the only
+            # candidate, and the one decomposition not reachable via probes.
+            trivial = self.core.trivial_decomposition()
+            if trivial is not None:
+                yield trivial
+            return
         seen = set()
-        for _, fragment in root_options:
-            if fragment is None:
-                continue
-            decomposition = fragment_to_decomposition(self.hypergraph, fragment)
+        for entry in self._root_entries(root_id):
+            decomposition = self.core.evaluator.materialise(entry[3])
             canonical = decomposition.canonical_form()
             if canonical in seen:
                 continue
             seen.add(canonical)
-            decompositions.append(decomposition)
-            if len(decompositions) >= limit:
-                break
-        return decompositions
+            yield decomposition
+
+    def enumerate(self, limit: int = 10) -> List[TreeDecomposition]:
+        """The ``limit`` best distinct CTDs (may be fewer if fewer exist)."""
+        if limit <= 0:
+            return []
+        return list(islice(self.iter_decompositions(), limit))
 
 
 def enumerate_ctds(
@@ -138,14 +328,25 @@ def enumerate_ctds(
     constraint: Optional[SubtreeConstraint] = None,
     preference: Optional[Preference] = None,
     limit: int = 10,
-    beam: int = 32,
+    beam: Optional[int] = None,
+    combinations_per_basis: Optional[int] = None,
 ) -> List[TreeDecomposition]:
-    """Enumerate up to ``limit`` CompNF CTDs ranked by ``preference``."""
+    """The exact ``limit`` best CompNF CTDs ranked by ``preference``.
+
+    ``beam`` and ``combinations_per_basis`` are deprecated no-ops kept for
+    call-site compatibility: the enumeration is exact, so they no longer
+    influence the result.
+    """
+    # Warn here (not in the constructor) so the warning is attributed to the
+    # caller of this function rather than to this module's frames.
+    if beam is not None:
+        _deprecated_parameter("beam")
+    if combinations_per_basis is not None:
+        _deprecated_parameter("combinations_per_basis")
     enumerator = CTDEnumerator(
         hypergraph,
         candidate_bags,
         constraint=constraint,
         preference=preference,
-        beam=max(beam, limit),
     )
     return enumerator.enumerate(limit=limit)

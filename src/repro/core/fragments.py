@@ -3,15 +3,19 @@
 A *fragment* encodes the subtree of a partial decomposition as a nested pair
 ``(bag, (child fragments...))``.  Fragments are plain tuples of frozensets:
 hashable, comparable for equality, and cheap to share structurally — the
-event-driven Algorithm 2 (:mod:`repro.core.constrained`) and the ranked
+event-driven Algorithm 2 (:mod:`repro.core.constrained`) and the exact lazy
 enumerator (:mod:`repro.core.enumerate`) both build larger fragments out of
 already-evaluated child fragments, so constraint checks and preference keys
-can be memoised per fragment instead of being recomputed for every probe of
-the dynamic program.
+are memoised per fragment (in the shared
+:class:`repro.core.options.FragmentEvaluator`) instead of being recomputed
+for every probe of the dynamic program.
 
 Children are kept in a canonical (deterministically sorted) order so that two
 structurally equal partial decompositions are represented by the *same*
-fragment value and hit the same memo entries.
+fragment value and hit the same memo entries.  The same
+:func:`fragment_sort_key` doubles as the enumerator's ranking tie-break: it
+is built from sorted vertex strings, so the ranked order is reproducible
+across processes and hash seeds.
 """
 
 from __future__ import annotations

@@ -27,6 +27,41 @@ preference sets ``monotone = True`` and implements :meth:`fragment_state` /
 Non-monotone preferences keep ``monotone = False`` and are evaluated by
 materialising each (memoised) fragment — correct for arbitrary key functions,
 just without the incremental fast path.
+
+Order-monotone preferences
+--------------------------
+
+The exact lazy any-k enumerator (:mod:`repro.core.enumerate`) streams each
+block's options best-first and composes parent options out of ranked child
+streams (Lawler-style deviations).  The enumeration order is the composite
+``(key, canonical structural tie)``, so laziness is only sound when
+replacing a child option with a later-ranked one can never make the parent
+sort earlier — *including on ties*.  A preference certifies this with
+``order_monotone = True``, which promises, for partial decompositions with
+the **same root bag**:
+
+* ``child_rank_key(P, ·)`` is a strictly monotone function of ``state_key``
+  for every parent bag ``P``: equal keys get equal ranks, strictly larger
+  keys strictly larger ranks, and
+* a parent's key depends on each child slot only through the child's
+  ``child_rank_key`` under the parent's bag, *strictly* increasing in it:
+  equal ranks compose equal parent keys, a strictly larger rank a strictly
+  larger parent key.  (Constant keys satisfy this vacuously — no two ranks
+  ever differ.)
+
+Strictness is what protects the tie component: under a non-strict (max-type)
+key such as :class:`MaxBagSizePreference`, a deviation can raise a child's
+key yet be absorbed into an *equal* parent key while the structural
+tie-break moves backwards, so parents would be emitted out of order.  Such
+preferences — max bag size, shallow cyclicity (whose composition state the
+key does not even determine), arbitrary cost callables, lexicographic
+combinations with a non-strict component — keep ``order_monotone = False``
+and the enumerator falls back to its exhaustive (but still
+fragment-memoised) exact path.
+
+``child_rank_key(parent_bag, state)`` defaults to ``state_key(state)``; the
+Equation (6) cost overrides it to fold the parent→child edge term in, which
+is what makes its per-root child streams parent-sortable.
 """
 
 from __future__ import annotations
@@ -42,6 +77,11 @@ class Preference:
 
     #: Whether keys compose bottom-up from child states (see module docstring).
     monotone = False
+
+    #: Whether the lazy enumerator may stream options best-first (see the
+    #: "Order-monotone preferences" contract in the module docstring —
+    #: note it requires *strictly* increasing parent keys).
+    order_monotone = False
 
     def key(self, partial_td: TreeDecomposition):
         raise NotImplementedError
@@ -60,11 +100,24 @@ class Preference:
         """The comparable key of a composed state (defaults to the state itself)."""
         return state
 
+    # -- lazy enumeration (only for ``order_monotone = True``) -----------------
+
+    def child_rank_key(self, parent_bag, state):
+        """Rank of a child option below ``parent_bag`` (``None`` at the root).
+
+        Options of one child slot are streamed to the parent in this order;
+        preferences whose parent keys see more than the child's own key
+        (e.g. parent→child edge costs) override it.
+        """
+        return self.state_key(state)
+
 
 class NoPreference(Preference):
     """All decompositions are equally preferred."""
 
     monotone = True
+    # All ranks are equal, so the strictness requirement holds vacuously.
+    order_monotone = True
 
     def key(self, partial_td: TreeDecomposition):
         return 0
@@ -98,10 +151,16 @@ class MonotoneCostPreference(CostPreference):
     ``cost(T_u) = node_cost(B(u)) + Σ_c [cost(T_c) + edge_cost(B(u), B(c))]``
     — exactly the recursive shape of the paper's Equation (6), so the key of
     a fragment composes from its children's ``(bag, cost)`` states without
-    revisiting the subtree.
+    revisiting the subtree.  The cost is also order monotone: under a parent
+    bag ``P`` a child option of state ``(bag, cost)`` contributes exactly
+    ``cost + edge_cost(P, bag)``, and the parent's total is the sum of those
+    contributions plus terms the children do not touch, so
+    :meth:`child_rank_key` folds the edge term in and same-rooted options
+    rank consistently (equal subtree costs give equal contributions).
     """
 
     monotone = True
+    order_monotone = True
 
     def __init__(
         self,
@@ -133,11 +192,18 @@ class MonotoneCostPreference(CostPreference):
     def state_key(self, state) -> float:
         return state[1]
 
+    def child_rank_key(self, parent_bag, state) -> float:
+        child_bag, child_cost = state
+        if parent_bag is None:
+            return child_cost
+        return child_cost + self.edge_cost(parent_bag, child_bag)
+
 
 class NodeCountPreference(Preference):
     """Prefer decompositions with fewer nodes (a simple tie-breaker)."""
 
     monotone = True
+    order_monotone = True
 
     def key(self, partial_td: TreeDecomposition) -> int:
         return partial_td.tree.num_nodes()
@@ -147,7 +213,13 @@ class NodeCountPreference(Preference):
 
 
 class MaxBagSizePreference(Preference):
-    """Prefer decompositions whose largest bag is small (treewidth-style)."""
+    """Prefer decompositions whose largest bag is small (treewidth-style).
+
+    Not order monotone: the max-type key is not strict — a worse child can
+    be absorbed by a larger sibling or the parent's own bag into an equal
+    key while the structural tie-break regresses — so the exact enumerator
+    uses its exhaustive path for this preference.
+    """
 
     monotone = True
 
@@ -202,6 +274,12 @@ class LexicographicPreference(Preference):
     def __init__(self, preferences: Sequence[Preference]):
         self.preferences = list(preferences)
         self.monotone = all(p.monotone for p in self.preferences)
+        # Strictness composes componentwise: if every component's parent key
+        # strictly tracks its rank, the first component whose rank moves
+        # decides the tuple.  One non-strict component (e.g. max bag size)
+        # poisons the whole combination — it can absorb a rank increase into
+        # an equal tuple prefix while later components regress.
+        self.order_monotone = all(p.order_monotone for p in self.preferences)
 
     def key(self, partial_td: TreeDecomposition) -> Tuple:
         return tuple(p.key(partial_td) for p in self.preferences)
@@ -214,3 +292,9 @@ class LexicographicPreference(Preference):
 
     def state_key(self, state) -> Tuple:
         return tuple(p.state_key(s) for p, s in zip(self.preferences, state))
+
+    def child_rank_key(self, parent_bag, state) -> Tuple:
+        return tuple(
+            p.child_rank_key(parent_bag, s)
+            for p, s in zip(self.preferences, state)
+        )

@@ -17,7 +17,7 @@ value is being the simple, obviously-correct version.
 
 from __future__ import annotations
 
-from itertools import combinations
+from itertools import combinations, product
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.hypergraph.hypergraph import Edge, Hypergraph, Vertex
@@ -509,3 +509,107 @@ def reference_constrained_ctd(
     if not constraint.holds_recursively(decomposition):
         return None
     return decomposition
+
+
+# -- exact ranked enumeration (spec for repro.core.enumerate) -------------------
+
+
+def reference_enumerate_ctds(
+    hypergraph: Hypergraph,
+    candidate_bags: Iterable[Bag],
+    constraint=None,
+    preference=None,
+    limit: int = 10,
+) -> List:
+    """Brute-force exact ranked enumeration: exhaustive generation + sort.
+
+    For every block (bottom-up) this builds the *complete* list of partial
+    decompositions — every feasible basis candidate × every combination of
+    the sub-blocks' options — rebuilding a full :class:`TreeDecomposition`
+    and re-running ``constraint.holds_recursively`` for each one, then ranks
+    the root block's options by ``(preference key, canonical fragment sort
+    key)`` and returns the first ``limit`` distinct decompositions.  No
+    beam, no combination caps, no laziness: exponential and obviously
+    correct, which is exactly what the lazy any-k enumerator in
+    :mod:`repro.core.enumerate` is property-tested against.
+    """
+    from repro.core.constraints import NoConstraint
+    from repro.core.fragments import (
+        fragment_sort_key,
+        fragment_to_decomposition,
+        make_fragment,
+    )
+    from repro.core.preferences import NoPreference
+    from repro.decompositions.td import TreeDecomposition
+    from repro.decompositions.tree import RootedTree
+
+    constraint = constraint if constraint is not None else NoConstraint()
+    preference = preference if preference is not None else NoPreference()
+    if limit <= 0:
+        return []
+    bags = _sorted_bags(
+        constraint.filter_bags({frozenset(bag) for bag in candidate_bags if bag})
+    )
+    blocks_by_head, all_blocks, root_block = _reference_blocks(hypergraph, bags)
+
+    def ranking_key(fragment):
+        decomposition = fragment_to_decomposition(hypergraph, fragment)
+        return (preference.key(decomposition), fragment_sort_key(fragment))
+
+    ordered = sorted(
+        all_blocks,
+        key=lambda b: (len(b.union), len(b.component), sorted(map(str, b.head))),
+    )
+    options: Dict[_ReferenceBlock, List] = {}
+    for block in ordered:
+        if not block.component:
+            options[block] = []
+            continue
+        block_options = set()
+        for candidate in bags:
+            if candidate == block.head:
+                continue
+            if not candidate <= block.union:
+                continue
+            subs = [b for b in blocks_by_head.get(candidate, []) if b.leq(block)]
+            covered = set(candidate)
+            for sub in subs:
+                covered.update(sub.component)
+            if not block.component <= covered:
+                continue
+            if any(
+                edge.vertices & block.component and not edge.vertices <= covered
+                for edge in hypergraph.edges
+            ):
+                continue
+            child_lists = [options[sub] for sub in subs if sub.component]
+            if any(not child_list for child_list in child_lists):
+                continue
+            for combination in product(*child_lists):
+                fragment = make_fragment(candidate, combination)
+                decomposition = fragment_to_decomposition(hypergraph, fragment)
+                if not constraint.holds_recursively(decomposition):
+                    continue
+                block_options.add(fragment)
+        options[block] = sorted(block_options, key=ranking_key)
+
+    if not root_block.component:
+        # Vertex-less hypergraph: the single-empty-bag CTD is the only one.
+        tree = RootedTree()
+        tree.new_node(None, bag=frozenset())
+        decomposition = TreeDecomposition(hypergraph, tree)
+        if not constraint.holds_recursively(decomposition):
+            return []
+        return [decomposition]
+    decompositions = []
+    seen = set()
+    for fragment in options[root_block]:
+        decomposition = fragment_to_decomposition(hypergraph, fragment)
+        canonical = decomposition.canonical_form()
+        if canonical in seen:
+            continue
+        seen.add(canonical)
+        decompositions.append(decomposition)
+        if len(decompositions) >= limit:
+            break
+    return decompositions

@@ -108,7 +108,9 @@ class QueryExperiment:
 
         ``cost`` is ``"cardinalities"`` (Appendix C.2.2), ``"estimates"``
         (Appendix C.2.1) or ``"none"`` (arbitrary order).  ``constrained``
-        enforces ConCov, matching the paper's experiments.
+        enforces ConCov, matching the paper's experiments.  The enumeration
+        is exact: these are the true ``limit`` cheapest CTDs, not the
+        survivors of a beam.
         """
         from repro.db.cost import make_cost_preference
 
@@ -134,7 +136,10 @@ class QueryExperiment:
         """``count`` decompositions sampled from a wide enumeration.
 
         Used for the right-hand chart of Figure 6 (average runtime of random
-        width-k decompositions with and without ConCov).
+        width-k decompositions with and without ConCov).  The pool is the
+        exact head of the canonical enumeration order (no preference, so the
+        deterministic structural tie-break), which makes the sample
+        reproducible across processes for a fixed seed.
         """
         constraint = self.concov_constraint() if constrained else NoConstraint()
         pool = enumerate_ctds(
@@ -143,7 +148,6 @@ class QueryExperiment:
             constraint=constraint,
             preference=None,
             limit=max(4 * count, 20),
-            beam=max(4 * count, 20),
         )
         if not pool:
             return []

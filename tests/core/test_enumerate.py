@@ -1,9 +1,22 @@
-"""Unit tests for the ranked CTD enumerator."""
+"""Unit tests for the exact lazy any-k CTD enumerator."""
+
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
 
 from repro.core.candidate_bags import soft_candidate_bags
 from repro.core.constraints import ConnectedCoverConstraint
 from repro.core.enumerate import CTDEnumerator, enumerate_ctds, fragment_to_decomposition
-from repro.core.preferences import MaxBagSizePreference, NodeCountPreference
+from repro.core.preferences import (
+    MaxBagSizePreference,
+    MonotoneCostPreference,
+    NodeCountPreference,
+)
+from repro.core.reference import reference_enumerate_ctds
+from repro.hypergraph.hypergraph import Hypergraph
 
 
 class TestEnumerateBasics:
@@ -25,6 +38,7 @@ class TestEnumerateBasics:
     def test_limit_respected(self, h2):
         bags = soft_candidate_bags(h2, 2)
         assert len(enumerate_ctds(h2, bags, limit=3)) <= 3
+        assert enumerate_ctds(h2, bags, limit=0) == []
 
     def test_single_candidate_bag(self, triangle):
         decompositions = enumerate_ctds(
@@ -32,6 +46,16 @@ class TestEnumerateBasics:
         )
         assert len(decompositions) == 1
         assert decompositions[0].tree.num_nodes() == 1
+
+    def test_prefix_stability(self, four_cycle):
+        # Any-k: asking for more results never changes the ones already seen.
+        bags = soft_candidate_bags(four_cycle, 2)
+        preference = NodeCountPreference()
+        ten = enumerate_ctds(four_cycle, bags, preference=preference, limit=10)
+        three = enumerate_ctds(four_cycle, bags, preference=preference, limit=3)
+        assert [d.canonical_form() for d in three] == [
+            d.canonical_form() for d in ten[:3]
+        ]
 
 
 class TestEnumerateRanking:
@@ -49,6 +73,23 @@ class TestEnumerateRanking:
         assert decompositions
         keys = [preference.key(d) for d in decompositions]
         assert keys == sorted(keys)
+
+    def test_exact_top_k_matches_reference(self, four_cycle):
+        # The lazy path (Eq. 6-shaped cost) against exhaustive generation +
+        # sort; integer costs so the keys compare exactly.
+        bags = soft_candidate_bags(four_cycle, 2)
+
+        def make():
+            return MonotoneCostPreference(
+                node_cost=lambda bag: len(bag) ** 2,
+                edge_cost=lambda parent, child: len(parent & child) + 1,
+            )
+
+        got = enumerate_ctds(four_cycle, bags, preference=make(), limit=10)
+        want = reference_enumerate_ctds(four_cycle, bags, preference=make(), limit=10)
+        assert [d.canonical_form() for d in got] == [
+            d.canonical_form() for d in want
+        ]
 
 
 class TestEnumerateWithConstraints:
@@ -77,6 +118,101 @@ class TestEnumerateWithConstraints:
             assert constraint.holds_recursively(decomposition)
 
 
+class TestTrivialAndTinyHypergraphs:
+    def test_vertexless_hypergraph_yields_the_trivial_decomposition(self):
+        # The solvers accept the vertex-less hypergraph with the
+        # single-empty-bag CTD; the enumerator must yield it too.
+        empty = Hypergraph([])
+        decompositions = enumerate_ctds(empty, [])
+        assert len(decompositions) == 1
+        assert decompositions[0].bags() == [frozenset()]
+        assert decompositions[0].is_valid()
+        reference = reference_enumerate_ctds(empty, [])
+        assert [d.canonical_form() for d in decompositions] == [
+            d.canonical_form() for d in reference
+        ]
+
+    def test_single_vertex_hypergraph(self):
+        single = Hypergraph({"e0": ["v"]})
+        bags = soft_candidate_bags(single, 1)
+        decompositions = enumerate_ctds(single, bags)
+        assert len(decompositions) == 1
+        assert decompositions[0].bags() == [frozenset({"v"})]
+        assert decompositions[0].is_valid()
+
+    def test_single_vertex_without_candidate_bags_is_infeasible(self):
+        single = Hypergraph({"e0": ["v"]})
+        assert enumerate_ctds(single, []) == []
+
+
+class TestDeterministicTieBreak:
+    def test_repeated_enumerations_agree(self, h2):
+        bags = soft_candidate_bags(h2, 2)
+        first = enumerate_ctds(h2, bags, limit=8)
+        second = enumerate_ctds(h2, bags, limit=8)
+        assert [d.canonical_form() for d in first] == [
+            d.canonical_form() for d in second
+        ]
+
+    def test_order_is_stable_across_hash_seeds(self):
+        # The tie-break is canonical sorted-vertex tuples, never frozenset
+        # ``repr``: re-running the enumeration in subprocesses with different
+        # PYTHONHASHSEED values (different frozenset iteration orders) must
+        # produce the identical ranked sequence.
+        script = textwrap.dedent(
+            """
+            from repro.core.candidate_bags import soft_candidate_bags
+            from repro.core.enumerate import enumerate_ctds
+            from repro.hypergraph.library import four_cycle_query
+
+            hypergraph = four_cycle_query()
+            bags = soft_candidate_bags(hypergraph, 2)
+            for decomposition in enumerate_ctds(hypergraph, bags, limit=10):
+                print(decomposition.canonical_form())
+            """
+        )
+        outputs = []
+        for hash_seed in ("0", "1", "4242"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+            env["PYTHONPATH"] = os.path.abspath(src)
+            result = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            outputs.append(result.stdout)
+        assert outputs[0].strip()
+        assert outputs[0] == outputs[1] == outputs[2]
+
+
+class TestDeprecatedParameters:
+    def test_beam_and_caps_warn_and_do_not_change_results(self, h2):
+        bags = soft_candidate_bags(h2, 2)
+        exact = enumerate_ctds(h2, bags, limit=5)
+        with pytest.warns(DeprecationWarning):
+            beamed = enumerate_ctds(h2, bags, limit=5, beam=2)
+        with pytest.warns(DeprecationWarning):
+            capped = CTDEnumerator(h2, bags, combinations_per_basis=1).enumerate(
+                limit=5
+            )
+        assert [d.canonical_form() for d in beamed] == [
+            d.canonical_form() for d in exact
+        ]
+        assert [d.canonical_form() for d in capped] == [
+            d.canonical_form() for d in exact
+        ]
+
+    def test_no_warning_without_deprecated_parameters(self, h2, recwarn):
+        bags = soft_candidate_bags(h2, 2)
+        enumerate_ctds(h2, bags, limit=2)
+        assert not [
+            w for w in recwarn.list if issubclass(w.category, DeprecationWarning)
+        ]
+
+
 class TestFragments:
     def test_fragment_to_decomposition_roundtrip(self, triangle):
         fragment = (frozenset({"x", "y", "z"}), ())
@@ -87,9 +223,3 @@ class TestFragments:
         )
         assert with_head.tree.num_nodes() == 2
         assert with_head.bag(with_head.tree.root) == frozenset({"x"})
-
-    def test_enumerator_beam_limits_options(self, h2):
-        bags = soft_candidate_bags(h2, 2)
-        enumerator = CTDEnumerator(h2, bags, beam=2)
-        decompositions = enumerator.enumerate(limit=2)
-        assert 0 < len(decompositions) <= 2

@@ -14,8 +14,10 @@ from repro.core.constraints import ConnectedCoverConstraint
 from repro.core.ctd import CandidateTDSolver, candidate_td
 from repro.core.enumerate import enumerate_ctds
 from repro.core.preferences import (
+    CostPreference,
     LexicographicPreference,
     MaxBagSizePreference,
+    MonotoneCostPreference,
     NodeCountPreference,
 )
 
@@ -65,10 +67,11 @@ class TestSolverAgreement:
             assert not enumerated
             return
         assert enumerated
-        # The dynamic program's result is never worse than the options the
-        # beam-limited enumerator surfaces.
+        # The dynamic program's result is never worse than any enumerated
+        # option (the enumeration is exact, so its head is the optimum).
         worst_enumerated = max(preference.key(d) for d in enumerated)
         assert preference.key(best) <= worst_enumerated + 1e-9
+        assert preference.key(best) == preference.key(enumerated[0])
 
     @SETTINGS
     @given(small_hypergraphs(max_vertices=6, max_edges=6))
@@ -96,12 +99,55 @@ class TestSolverAgreement:
     @SETTINGS
     @given(small_hypergraphs(max_vertices=5, max_edges=5))
     def test_enumerator_best_matches_constrained_optimum(self, hypergraph):
-        # On instances small enough for the beam to be exact, the head of the
-        # ranked enumeration and Algorithm 2's optimum carry the same key.
+        # The enumeration is exact, so its head and Algorithm 2's optimum
+        # carry the same key.
         bags = soft_candidate_bags(hypergraph, 2)
         preference = LexicographicPreference(
             [MaxBagSizePreference(), NodeCountPreference()]
         )
+        solver = ConstrainedCTDSolver(hypergraph, bags, preference=preference)
+        enumerated = enumerate_ctds(hypergraph, bags, preference=preference, limit=1)
+        optimal_key = solver.optimal_key()
+        if optimal_key is None:
+            assert not enumerated
+        else:
+            assert enumerated
+            assert preference.key(enumerated[0]) == optimal_key
+
+    @SETTINGS
+    @given(small_hypergraphs(max_vertices=5, max_edges=5))
+    def test_lazy_enumerator_head_matches_constrained_optimum(self, hypergraph):
+        # The lazy (order-monotone, Eq. 6-shaped) path of the enumerator
+        # against Algorithm 2's monotone fast path; integer costs compare
+        # exactly.
+        bags = soft_candidate_bags(hypergraph, 2)
+        preference = MonotoneCostPreference(
+            node_cost=lambda bag: len(bag) ** 2,
+            edge_cost=lambda parent, child: len(parent & child) + 1,
+        )
+        solver = ConstrainedCTDSolver(hypergraph, bags, preference=preference)
+        enumerated = enumerate_ctds(hypergraph, bags, preference=preference, limit=1)
+        optimal_key = solver.optimal_key()
+        if optimal_key is None:
+            assert not enumerated
+        else:
+            assert enumerated
+            assert preference.key(enumerated[0]) == optimal_key
+
+    @SETTINGS
+    @given(small_hypergraphs(max_vertices=5, max_edges=5))
+    def test_enumerator_head_matches_optimum_under_non_monotone_preference(
+        self, hypergraph
+    ):
+        # A cost callable that never declares the monotone protocol: the
+        # enumerator's exhaustive fallback and Algorithm 2's materialising
+        # path must still agree on the optimal key.  (The cost is a sum over
+        # bags, so the per-block dynamic program is exact for it.)
+        bags = soft_candidate_bags(hypergraph, 2)
+        preference = CostPreference(
+            lambda td: sum(len(bag) ** 2 for bag in td.bags())
+        )
+        assert not preference.monotone
         solver = ConstrainedCTDSolver(hypergraph, bags, preference=preference)
         enumerated = enumerate_ctds(hypergraph, bags, preference=preference, limit=1)
         optimal_key = solver.optimal_key()
