@@ -1,0 +1,109 @@
+"""Workload-build benchmark: cold generation vs snapshot-cache hits.
+
+The scalable workload layer (PR 5) generates every dataset as chunked
+numpy columns and caches large builds as versioned ``.npz`` snapshots
+(``repro.workloads.snapshot``).  This benchmark measures, per workload at
+``BENCH_WORKLOAD_SCALE`` (default 10 — the paper's SF 10 regime):
+
+* ``cold_build_s`` — deterministic generation + columnar ingest,
+* ``snapshot_store_s`` — writing the snapshot,
+* ``snapshot_load_s`` — a cache hit (raw ``np.load`` + reconstruct),
+
+and asserts the hit/cold speedup geomean stays above
+``BENCH_WORKLOAD_MIN_SPEEDUP`` (default 5; relax on noisy shared runners).
+Loaded databases are verified against the cold build column by column
+before any timing is trusted.  Results go to
+``benchmarks/results/BENCH_workload.json`` (gitignored, machine-local) so
+future PRs can compare against the geomean recorded in CHANGES.md.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+
+import numpy as np
+import pytest
+
+from conftest import RESULTS_DIR, best_of, geomean
+
+from repro.workloads.registry import workload_entries
+from repro.workloads.snapshot import SnapshotCache, load_snapshot
+
+WORKLOAD_SCALE = float(os.environ.get("BENCH_WORKLOAD_SCALE", "10"))
+REPEATS = 3
+
+
+def _assert_same_database(cold, loaded) -> None:
+    assert cold.relation_names() == loaded.relation_names()
+    for name in cold.relation_names():
+        a, b = cold.relation(name), loaded.relation(name)
+        assert a.attributes == b.attributes, name
+        assert len(a) == len(b), name
+        for attribute in a.attributes:
+            assert np.array_equal(a.codes(attribute), b.codes(attribute)), (
+                name,
+                attribute,
+            )
+        assert cold.primary_key(name) == loaded.primary_key(name), name
+    assert cold.interner.values() == loaded.interner.values()
+
+
+def test_workload_build_speedup(tmp_path):
+    cache = SnapshotCache(str(tmp_path))
+    rows = []
+    for name, entry in sorted(workload_entries().items()):
+        seed = entry.default_seed
+        path = cache.path_for(name, WORKLOAD_SCALE, seed, entry.schema_hash)
+
+        cold_database = entry.build(scale=WORKLOAD_SCALE)
+        row = {
+            "workload": name,
+            "scale": WORKLOAD_SCALE,
+            "seed": seed,
+            "rows": cold_database.total_rows(),
+            "cold_build_s": best_of(
+                lambda: entry.build(scale=WORKLOAD_SCALE), REPEATS
+            ),
+            "snapshot_store_s": best_of(
+                lambda: cache.store(
+                    name, WORKLOAD_SCALE, seed, entry.schema_hash, cold_database
+                ),
+                REPEATS,
+            ),
+        }
+
+        # Correctness before timing: the snapshot reconstructs the cold
+        # build exactly (codes, schema, interner), and the cache reports a
+        # hit.
+        loaded, hit = entry.load_with_status(scale=WORKLOAD_SCALE, cache=cache)
+        assert hit, name
+        _assert_same_database(cold_database, loaded)
+
+        row["snapshot_load_s"] = best_of(lambda: load_snapshot(path), REPEATS)
+        row["snapshot_bytes"] = os.path.getsize(path)
+        row["speedup"] = row["cold_build_s"] / row["snapshot_load_s"]
+        rows.append(row)
+        print(f"{name}: cold x{row['speedup']:.1f} vs snapshot hit")
+
+    summary = {
+        "scale": WORKLOAD_SCALE,
+        "geomean_speedup": geomean([row["speedup"] for row in rows]),
+    }
+    payload = {
+        "benchmark": "workload-cold-build-vs-snapshot-hit",
+        "python": platform.python_version(),
+        "instances": rows,
+        "summary": summary,
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    out_path = os.path.join(RESULTS_DIR, "BENCH_workload.json")
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+    print(f"wrote {out_path}")
+    print(json.dumps(summary, indent=2))
+
+    # The tentpole target: snapshot hits >= 5x faster than cold builds.
+    minimum = float(os.environ.get("BENCH_WORKLOAD_MIN_SPEEDUP", "5"))
+    assert summary["geomean_speedup"] >= minimum

@@ -1,0 +1,75 @@
+"""End-to-end smoke test of the workload snapshot layer (used by CI).
+
+Exercises the whole loader surface against a throwaway cache directory:
+
+1. cold-build snapshots for all three workloads via ``repro workloads build``,
+2. assert the second load is a snapshot *hit* and reconstructs the cold
+   build byte-for-byte,
+3. ``repro workloads list --strict`` passes while the cache is healthy,
+4. a version-corrupted snapshot makes ``--strict`` fail (stale detection),
+   and is transparently rebuilt by the loader afterwards.
+"""
+
+import sys
+import tempfile
+
+import numpy as np
+
+from repro.cli import main as cli_main
+from repro.workloads.registry import workload_entries
+from repro.workloads.snapshot import SnapshotCache, rewrite_snapshot_version
+
+SCALE = 2.0
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}")
+    sys.exit(1)
+
+
+def assert_same(cold, loaded, name: str) -> None:
+    for relation_name in cold.relation_names():
+        a, b = cold.relation(relation_name), loaded.relation(relation_name)
+        for attribute in a.attributes:
+            if not np.array_equal(a.codes(attribute), b.codes(attribute)):
+                fail(f"{name}.{relation_name}.{attribute} differs after reload")
+    if cold.interner.values() != loaded.interner.values():
+        fail(f"{name}: interner tables differ after reload")
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as cache_dir:
+        if cli_main(["workloads", "build", "--scale", str(SCALE), "--cache", cache_dir]):
+            fail("workloads build returned non-zero")
+
+        cache = SnapshotCache(cache_dir)
+        for name, entry in workload_entries().items():
+            loaded, hit = entry.load_with_status(scale=SCALE, cache=cache)
+            if not hit:
+                fail(f"{name}: second load missed the snapshot cache")
+            assert_same(entry.build(scale=SCALE), loaded, name)
+            print(f"{name}: snapshot hit verified against cold build")
+
+        if cli_main(["workloads", "list", "--cache", cache_dir, "--strict"]):
+            fail("strict list failed on a healthy cache")
+
+        # Corrupt one snapshot's format version: strict listing must fail,
+        # the loader must treat it as a miss and rebuild.
+        victim = cache.entries()[0]
+        rewrite_snapshot_version(victim.path, -1)
+
+        if cli_main(["workloads", "list", "--cache", cache_dir, "--strict"]) != 1:
+            fail("strict list did not fail on a stale-version snapshot")
+        entry = workload_entries()[victim.workload]
+        _, hit = entry.load_with_status(scale=SCALE, cache=cache)
+        if hit:
+            fail("stale snapshot was served as a hit instead of rebuilt")
+        if cli_main(["workloads", "list", "--cache", cache_dir, "--strict"]):
+            fail("strict list still failing after the stale snapshot was rebuilt")
+        print("stale-version snapshot detected and rebuilt")
+
+    print("workload snapshot smoke tests passed")
+
+
+if __name__ == "__main__":
+    main()

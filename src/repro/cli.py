@@ -11,11 +11,15 @@ Usage (also available as ``python -m repro``)::
     python -m repro stats QUERY.hg
     python -m repro experiment q_hto3 --limit 5
     python -m repro table1
+    python -m repro workloads build --scale 10
+    python -m repro workloads list --strict
+    python -m repro workloads clean
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -99,8 +103,9 @@ def _cmd_experiment(args, out) -> int:
     from repro.workloads.registry import benchmark_query
 
     entry = benchmark_query(args.query)
-    database, query = entry.load(scale=args.scale)
-    experiment = QueryExperiment(database, query, entry.width, name=entry.name)
+    experiment = QueryExperiment.from_benchmark(
+        entry, scale=args.scale, seed=args.seed, dump_path=args.dump
+    )
     decompositions, elapsed = experiment.ranked_decompositions(limit=args.limit)
     evaluations = experiment.evaluate(decompositions)
     rows = [
@@ -129,6 +134,92 @@ def _cmd_table1(args, out) -> int:
     from repro.experiments.figures import render_table1
 
     print(render_table1(scale=args.scale), file=out)
+    return 0
+
+
+# -- workload snapshot management ------------------------------------------
+
+
+def _workload_cache(args):
+    from repro.workloads.snapshot import SnapshotCache
+
+    return SnapshotCache(args.cache)
+
+
+def _cmd_workloads_build(args, out) -> int:
+    import time
+
+    from repro.workloads.registry import workload_entries, workload_entry
+
+    if args.workload == "all":
+        entries = list(workload_entries().values())
+    else:
+        entries = [workload_entry(args.workload)]
+    cache = _workload_cache(args)
+    for entry in entries:
+        path = entry.snapshot_path(cache, args.scale, args.seed)
+        if args.force and os.path.exists(path):
+            os.unlink(path)
+        start = time.perf_counter()
+        database, hit = entry.load_with_status(
+            scale=args.scale, seed=args.seed, cache=cache
+        )
+        elapsed = time.perf_counter() - start
+        status = "snapshot hit" if hit else "cold build"
+        print(
+            f"{entry.name}: scale={args.scale:g} rows={database.total_rows()} "
+            f"{status} in {elapsed * 1000:.1f} ms ({path})",
+            file=out,
+        )
+    return 0
+
+
+def _cmd_workloads_list(args, out) -> int:
+    from repro.workloads.registry import workload_entries
+
+    cache = _workload_cache(args)
+    infos = cache.entries()
+    if not infos:
+        print(f"no snapshots under {cache.directory}", file=out)
+        return 0
+    current_hashes = {
+        name: entry.schema_hash for name, entry in workload_entries().items()
+    }
+    stale_count = 0
+    for info in infos:
+        outdated_schema = (
+            info.workload in current_hashes
+            and info.schema_hash != current_hashes[info.workload]
+        )
+        stale = info.stale or outdated_schema
+        stale_count += stale
+        reason = ""
+        if info.stale:
+            reason = f"  STALE (format v{info.version}, current v{_snapshot_version()})"
+        elif outdated_schema:
+            reason = "  STALE (schema/generator changed)"
+        print(
+            f"{info.workload:<10} scale={info.scale:<6g} seed={info.seed} "
+            f"rows={info.total_rows:<8} {info.size_bytes / 1024:.0f} KiB  "
+            f"{os.path.basename(info.path)}{reason}",
+            file=out,
+        )
+    print(f"{len(infos)} snapshot(s), {stale_count} stale", file=out)
+    if args.strict and stale_count:
+        return 1
+    return 0
+
+
+def _snapshot_version() -> int:
+    from repro.workloads.snapshot import SNAPSHOT_VERSION
+
+    return SNAPSHOT_VERSION
+
+
+def _cmd_workloads_clean(args, out) -> int:
+    cache = _workload_cache(args)
+    removed = cache.clean()
+    print(f"removed {removed} snapshot(s) from {cache.directory}", file=out)
     return 0
 
 
@@ -165,11 +256,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument("--scale", type=float, default=0.5)
     experiment.add_argument("--limit", type=int, default=5)
+    experiment.add_argument(
+        "--seed", type=int, default=None, help="workload seed (default: per-workload)"
+    )
+    experiment.add_argument(
+        "--dump",
+        default=None,
+        metavar="DIR",
+        help="load real dump files from DIR instead of generating",
+    )
     experiment.set_defaults(handler=_cmd_experiment)
 
     table1 = subparsers.add_parser("table1", help="reproduce Table 1")
     table1.add_argument("--scale", type=float, default=0.5)
     table1.set_defaults(handler=_cmd_table1)
+
+    workloads = subparsers.add_parser(
+        "workloads", help="manage workload snapshot caches"
+    )
+    workload_commands = workloads.add_subparsers(dest="workloads_command", required=True)
+
+    build = workload_commands.add_parser(
+        "build", help="generate workloads and store snapshots"
+    )
+    build.add_argument(
+        "--workload",
+        choices=["all", "tpcds", "hetionet", "lsqb"],
+        default="all",
+    )
+    build.add_argument("--scale", type=float, default=10.0)
+    build.add_argument("--seed", type=int, default=None)
+    build.add_argument("--cache", default=None, help="cache directory")
+    build.add_argument(
+        "--force", action="store_true", help="rebuild even when a snapshot exists"
+    )
+    build.set_defaults(handler=_cmd_workloads_build)
+
+    list_parser = workload_commands.add_parser("list", help="list cached snapshots")
+    list_parser.add_argument("--cache", default=None)
+    list_parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero when stale snapshots are present",
+    )
+    list_parser.set_defaults(handler=_cmd_workloads_list)
+
+    clean = workload_commands.add_parser("clean", help="delete cached snapshots")
+    clean.add_argument("--cache", default=None)
+    clean.set_defaults(handler=_cmd_workloads_clean)
 
     return parser
 

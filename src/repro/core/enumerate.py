@@ -194,7 +194,13 @@ class _MergedStream:
 
 
 class CTDEnumerator:
-    """Enumerate CompNF CTDs over a candidate bag set, ranked by a preference."""
+    """Enumerate CompNF CTDs over a candidate bag set, ranked by a preference.
+
+    ``beam`` and ``combinations_per_basis`` are deprecated no-ops: they
+    were the pre-PR-4 eager beam's truncation knobs, the enumeration is now
+    exact regardless, and passing any non-``None`` value only emits a
+    ``DeprecationWarning``.  They will be removed in a future PR.
+    """
 
     def __init__(
         self,

@@ -73,17 +73,52 @@ from repro.decompositions.td import TreeDecomposition
 
 
 class Preference:
-    """Base class: a total quasiorder given by a comparable key."""
+    """Base class: a total quasiorder given by a comparable key.
 
-    #: Whether keys compose bottom-up from child states (see module docstring).
+    Subclasses must implement :meth:`key`.  Two optional capability flags
+    unlock solver fast paths — each is a *promise* about the key function,
+    and claiming one falsely silently produces wrong optima/orders (the
+    equivalence property tests are the safety net):
+
+    * ``monotone = True`` additionally requires :meth:`fragment_state` (and
+      :meth:`state_key` when the state is not itself the key) —
+      Algorithm 2 and the enumerator then compose keys bottom-up without
+      re-walking or materialising subtrees;
+    * ``order_monotone = True`` (requires ``monotone``) certifies the
+      strictness contract below — the any-k enumerator may then stream
+      options lazily best-first instead of building full option tables.
+    """
+
+    #: Contract (``monotone = True``): for partial decompositions rooted at
+    #: bag ``B`` with child subtrees ``T_1..T_n``,
+    #: ``key(td) == state_key(fragment_state(B, [state(T_1)..state(T_n)]))``
+    #: — the key is fully determined by the root bag and the child *states*,
+    #: never by deeper structure.  Keeping ``False`` is always sound: the
+    #: solvers fall back to evaluating ``key`` on memoised materialised
+    #: decompositions.
     monotone = False
 
-    #: Whether the lazy enumerator may stream options best-first (see the
-    #: "Order-monotone preferences" contract in the module docstring —
-    #: note it requires *strictly* increasing parent keys).
+    #: Contract (``order_monotone = True``, requires ``monotone``): for
+    #: same-rooted partial decompositions, (a) ``child_rank_key(P, ·)`` is a
+    #: strictly monotone function of ``state_key`` for every parent bag
+    #: ``P``, and (b) a parent's key depends on each child slot only through
+    #: that child's ``child_rank_key`` under the parent's bag, *strictly*
+    #: increasing in it (equal ranks ⇒ equal parent keys, larger rank ⇒
+    #: strictly larger parent key; constant keys qualify vacuously).
+    #: Strictness protects the canonical tie-break: a non-strict (max-type)
+    #: key can absorb a worse child into an equal parent key while the tie
+    #: regresses, emitting results out of order.  Keeping ``False`` is
+    #: always sound — the enumerator uses its exhaustive (still exact,
+    #: still memoised) path.
     order_monotone = False
 
     def key(self, partial_td: TreeDecomposition):
+        """The comparable key of a (partial) decomposition; lower is better.
+
+        Keys of one preference must be mutually comparable (the solvers
+        sort and heap-merge them); ties are broken by the solver's
+        canonical structural key, never by ``repr`` or id.
+        """
         raise NotImplementedError
 
     def is_strictly_better(self, a: TreeDecomposition, b: TreeDecomposition) -> bool:
@@ -93,21 +128,39 @@ class Preference:
     # -- monotone composition (only for ``monotone = True``) -------------------
 
     def fragment_state(self, bag, child_states: Sequence):
-        """State of the partial decomposition with root ``bag`` over the children."""
+        """State of the partial decomposition with root ``bag`` over the children.
+
+        States are opaque to the solver (a scalar for simple preferences, a
+        ``(bag, cost)`` pair when parent→child edge terms need the child's
+        root bag) and are memoised per fragment; together with
+        :meth:`state_key` this must reproduce :meth:`key` exactly (see the
+        ``monotone`` contract).  Only called when ``monotone`` is true.
+        """
         raise NotImplementedError(f"{type(self).__name__} is not monotone")
 
     def state_key(self, state):
-        """The comparable key of a composed state (defaults to the state itself)."""
+        """Project a composed state to its comparable key.
+
+        Defaults to the identity (state *is* the key); override when
+        :meth:`fragment_state` must carry more than the key (e.g. the root
+        bag for edge costs, or composition data the key alone cannot
+        provide, as in :class:`ShallowCyclicityPreference`).
+        """
         return state
 
     # -- lazy enumeration (only for ``order_monotone = True``) -----------------
 
     def child_rank_key(self, parent_bag, state):
-        """Rank of a child option below ``parent_bag`` (``None`` at the root).
+        """Rank of a child option when streamed below ``parent_bag``.
 
-        Options of one child slot are streamed to the parent in this order;
-        preferences whose parent keys see more than the child's own key
-        (e.g. parent→child edge costs) override it.
+        The enumerator feeds each child slot's options to its parent in
+        increasing ``child_rank_key`` order (``parent_bag is None`` at the
+        root).  Defaults to ``state_key(state)``; preferences whose parent
+        keys see more than the child's own key override it — the
+        Equation (6) cost folds the parent→child edge term in, which is
+        what makes equal-cost subtrees with different root bags rank
+        correctly.  Subject to the strictness contract on
+        ``order_monotone``.
         """
         return self.state_key(state)
 

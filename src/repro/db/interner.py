@@ -15,7 +15,7 @@ one interner).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -23,13 +23,33 @@ CODE_DTYPE = np.int64
 
 
 class ValueInterner:
-    """A bijection between distinct values and dense ``int64`` codes."""
+    """A bijection between distinct values and dense ``int64`` codes.
+
+    The value→code dictionary is rebuilt lazily after
+    :meth:`from_values` (the snapshot-load constructor): a database
+    restored from an on-disk snapshot only needs the code→value direction
+    until somebody interns a *new* value, so deferring the dict keeps
+    snapshot hits close to a raw ``np.load``.
+    """
 
     __slots__ = ("_codes", "_values")
 
     def __init__(self) -> None:
-        self._codes: dict = {}
+        self._codes: Optional[dict] = {}
         self._values: List[object] = []
+
+    @classmethod
+    def from_values(cls, values: Iterable[object]) -> "ValueInterner":
+        """Rebuild an interner from its value table (code = list position).
+
+        Used when loading a workload snapshot: the codes dict is not built
+        until the first :meth:`code` call on a value, so loads that only
+        decode (the common case) never pay for it.
+        """
+        interner = cls()
+        interner._values = list(values)
+        interner._codes = None
+        return interner
 
     def __len__(self) -> int:
         return len(self._values)
@@ -39,19 +59,55 @@ class ValueInterner:
 
     # -- encoding ----------------------------------------------------------
 
+    def _code_table(self) -> dict:
+        if self._codes is None:
+            self._codes = {value: i for i, value in enumerate(self._values)}
+        return self._codes
+
     def code(self, value: object) -> int:
         """The code of ``value``, interning it on first sight."""
-        code = self._codes.get(value, -1)
+        codes = self._code_table()
+        code = codes.get(value, -1)
         if code < 0:
             code = len(self._values)
-            self._codes[value] = code
+            codes[value] = code
             self._values.append(value)
         return code
 
     def encode_column(self, values: Sequence[object]) -> np.ndarray:
-        """Encode a whole column of Python values into an ``int64`` array."""
+        """Encode a whole column of values into an ``int64`` code array.
+
+        Numpy arrays take a vectorised path: only the *distinct* values are
+        interned (via ``np.unique``), so encoding a generated column is
+        ``O(n log n)`` array work plus a Python loop over the distinct
+        values only.  Any other sequence is interned value by value.
+        """
+        if isinstance(values, np.ndarray):
+            return self._encode_array(values)
         code = self.code
         return np.fromiter((code(v) for v in values), dtype=CODE_DTYPE, count=len(values))
+
+    def _encode_array(self, values: np.ndarray) -> np.ndarray:
+        if values.size == 0:
+            return np.empty(0, dtype=CODE_DTYPE)
+        if values.dtype == object:
+            # Iterating an object array yields the raw Python objects (no
+            # ``.item()``, possibly unsortable under np.unique) — intern
+            # them one by one like any other sequence.
+            code = self.code
+            return np.fromiter(
+                (code(v) for v in values.tolist()),
+                dtype=CODE_DTYPE,
+                count=values.size,
+            )
+        uniques, inverse = np.unique(values, return_inverse=True)
+        code = self.code
+        # ``.item()`` interns native Python scalars, keeping decoded rows
+        # (and figure output) free of numpy scalar types.
+        table = np.fromiter(
+            (code(v.item()) for v in uniques), dtype=CODE_DTYPE, count=len(uniques)
+        )
+        return table[inverse.reshape(values.shape)]
 
     # -- decoding ----------------------------------------------------------
 

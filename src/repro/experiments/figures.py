@@ -31,8 +31,10 @@ from repro.workloads.registry import BenchmarkQuery, benchmark_queries, benchmar
 
 
 def _experiment(entry: BenchmarkQuery, scale: float = 1.0) -> QueryExperiment:
-    database, query = entry.load(scale=scale)
-    return QueryExperiment(database, query, entry.width, name=entry.name)
+    # Data flows through the workload layer: large scales hit the snapshot
+    # cache automatically, so regenerating a figure at scale >= 2 only pays
+    # generation once per (workload, scale, seed).
+    return QueryExperiment.from_benchmark(entry, scale=scale)
 
 
 def _evaluation_rows(

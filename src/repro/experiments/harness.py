@@ -77,6 +77,31 @@ class QueryExperiment:
         self._estimate_model = EstimateCostModel(query, database, estimator=self.estimator)
         self._executor = DecompositionExecutor(database, query)
 
+    @classmethod
+    def from_benchmark(
+        cls,
+        entry,
+        scale: float = 1.0,
+        seed: Optional[int] = None,
+        cache="auto",
+        dump_path: Optional[str] = None,
+    ) -> "QueryExperiment":
+        """Build the experiment for a registry entry (or query name).
+
+        Data comes through the workload layer: deterministic seeded
+        generation with snapshot caching per ``cache`` (see
+        :meth:`repro.workloads.registry.WorkloadEntry.load`), or real dump
+        files when ``dump_path`` is given.
+        """
+        from repro.workloads.registry import benchmark_query
+
+        if isinstance(entry, str):
+            entry = benchmark_query(entry)
+        database, query = entry.load(
+            scale=scale, seed=seed, cache=cache, dump_path=dump_path
+        )
+        return cls(database, query, entry.width, name=entry.name)
+
     # -- candidate bags -----------------------------------------------------------
 
     @property

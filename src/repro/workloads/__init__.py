@@ -5,8 +5,15 @@ knowledge graph and LSQB (scale factor 10).  None of these datasets are
 shipped here; instead each module generates synthetic data with the same
 schema and the same *structural* properties that make the paper's queries
 interesting (cyclic join patterns, skewed non-key joins, hub-heavy graphs),
-at a scale an in-memory pure-Python engine handles in seconds.  The SQL text
-of the six benchmark queries is reproduced verbatim from Appendix D.2.
+at any scale factor (generation is deterministic, seeded, chunked numpy —
+see :mod:`repro.workloads.ingest`).  The SQL text of the six benchmark
+queries is reproduced verbatim from Appendix D.2.
+
+Large builds are cached on disk as versioned ``.npz`` snapshots
+(:mod:`repro.workloads.snapshot`); :mod:`repro.workloads.registry` is the
+front door: :func:`workload_entries` for the datasets (snapshot-aware
+loading, real dump files), :func:`benchmark_queries` for the six paper
+queries.
 """
 
 from repro.workloads.tpcds import build_tpcds_database, tpcds_query_qds, QDS_SQL
@@ -16,7 +23,15 @@ from repro.workloads.hetionet import (
     HETIONET_QUERY_SQL,
 )
 from repro.workloads.lsqb import build_lsqb_database, lsqb_query_qlb, QLB_SQL
-from repro.workloads.registry import benchmark_queries, BenchmarkQuery
+from repro.workloads.registry import (
+    BenchmarkQuery,
+    WorkloadEntry,
+    benchmark_queries,
+    benchmark_query,
+    workload_entries,
+    workload_entry,
+)
+from repro.workloads.snapshot import SnapshotCache
 
 __all__ = [
     "build_tpcds_database",
@@ -29,5 +44,10 @@ __all__ = [
     "lsqb_query_qlb",
     "QLB_SQL",
     "benchmark_queries",
+    "benchmark_query",
     "BenchmarkQuery",
+    "workload_entries",
+    "workload_entry",
+    "WorkloadEntry",
+    "SnapshotCache",
 ]

@@ -7,19 +7,35 @@ directed graph per edge table over a shared node universe with a heavy-tailed
 decompositions of the cyclic patterns expensive on the real knowledge graph.
 The SQL of the four queries is reproduced verbatim from Appendix D.2
 (Listings 2–5).
+
+Generation is deterministic, seeded and chunked (numpy PCG64 streams into
+the columnar ingest path — see :mod:`repro.workloads.ingest`); real
+Hetionet edge dumps can be loaded instead through
+:meth:`repro.workloads.registry.WorkloadEntry.load_dump` against
+:data:`HETIONET_SCHEMA`.
 """
 
 from __future__ import annotations
 
-import random
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.db.database import Database
 from repro.db.query import ConjunctiveQuery
 from repro.db.sqlish import parse_select_query
+from repro.workloads.ingest import ChunkedTableBuilder, generate_unique_edges
 
 #: The edge tables referenced by the benchmark queries.
 EDGE_TABLES = ("hetio45159", "hetio45160", "hetio45173", "hetio45176", "hetio45177")
+
+#: Bump when generated data changes for a fixed ``(scale, seed)``.
+GENERATOR_VERSION = 2
+
+#: ``table -> (attributes, primary_key)`` — also the dump-file schema.
+HETIONET_SCHEMA: Dict[str, Tuple[Sequence[str], Optional[str]]] = {
+    table: (("s", "d"), None) for table in EDGE_TABLES
+}
 
 HETIONET_QUERY_SQL: Dict[str, str] = {
     # Listing 2 — q_hto
@@ -67,40 +83,42 @@ WHERE hetio45160_0.s = hetio45160_1.s AND hetio45160_0.d = hetio45177.s
 }
 
 
-def _skewed_edges(
-    rng: random.Random, num_nodes: int, num_edges: int, hub_fraction: float = 0.08
-) -> List[Tuple[int, int]]:
-    """A random edge list with a hub-dominated degree distribution."""
+def _hub_sampler(num_nodes: int, hub_fraction: float = 0.08):
+    """A node sampler with a hub-dominated (heavy-tailed) distribution.
+
+    Half of all draws land on the first ``hub_fraction`` of the node
+    universe, reproducing the hub-heavy degree distribution of the real
+    knowledge graph.
+    """
     hubs = max(1, int(num_nodes * hub_fraction))
-    edges = set()
-    attempts = 0
-    while len(edges) < num_edges and attempts < num_edges * 20:
-        attempts += 1
-        if rng.random() < 0.5:
-            source = rng.randrange(hubs)
-        else:
-            source = rng.randrange(num_nodes)
-        if rng.random() < 0.5:
-            target = rng.randrange(hubs)
-        else:
-            target = rng.randrange(num_nodes)
-        if source != target:
-            edges.add((source, target))
-    return sorted(edges)
+
+    def sample(rng: np.random.Generator, count: int) -> np.ndarray:
+        from_hub = rng.random(count) < 0.5
+        return np.where(
+            from_hub,
+            rng.integers(0, hubs, count),
+            rng.integers(0, num_nodes, count),
+        )
+
+    return sample
 
 
 def build_hetionet_database(
     scale: float = 1.0, seed: Optional[int] = 11
 ) -> Database:
     """Generate the synthetic Hetionet-like database (five edge tables)."""
-    rng = random.Random(seed)
+    rng = np.random.default_rng(seed)
     num_nodes = max(20, int(160 * scale))
     edges_per_table = max(30, int(450 * scale))
+    sampler = _hub_sampler(num_nodes)
     database = Database()
     for table in EDGE_TABLES:
-        rows = _skewed_edges(rng, num_nodes, edges_per_table)
-        columns = [list(column) for column in zip(*rows)] if rows else [[], []]
-        database.create_table_columns(table, ["s", "d"], columns)
+        sources, targets = generate_unique_edges(
+            rng, num_nodes, edges_per_table, sampler, sampler
+        )
+        builder = ChunkedTableBuilder(table, *HETIONET_SCHEMA[table])
+        builder.append([sources, targets])
+        builder.ingest(database)
     return database
 
 

@@ -3,19 +3,31 @@
 LSQB ("Labelled Subgraph Query Benchmark") models a social network; the
 paper's query ``q_lb`` (Appendix D.2, Listing 6) joins three city aliases in
 the same country, two persons located in two of those cities, and a
-knows-edge between the persons.  We generate a small synthetic network with
-the same schema: a few countries, cities clustered into countries, persons
-clustered into cities and a skewed knows-graph.
+knows-edge between the persons.  We generate a synthetic network with the
+same schema: a few countries, cities clustered into countries, persons
+clustered into cities and a deduplicated knows-graph.
+
+Generation is deterministic, seeded and chunked (numpy PCG64 streams into
+the columnar ingest path — see :mod:`repro.workloads.ingest`); real LSQB
+dump files can be loaded instead through
+:meth:`repro.workloads.registry.WorkloadEntry.load_dump` against
+:data:`LSQB_SCHEMA`.
 """
 
 from __future__ import annotations
 
-import random
-from typing import Optional
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.db.database import Database
 from repro.db.query import ConjunctiveQuery
 from repro.db.sqlish import parse_select_query
+from repro.workloads.ingest import (
+    ChunkedTableBuilder,
+    chunk_sizes,
+    generate_unique_edges,
+)
 
 #: Query ``q_lb`` exactly as printed in Appendix D.2 (Listing 6).
 QLB_SQL = """
@@ -34,48 +46,60 @@ JOIN Person_knows_Person AS pkp1
  AND pkp1.Person2Id = PersonB.PersonId
 """
 
+#: Bump when generated data changes for a fixed ``(scale, seed)``.
+GENERATOR_VERSION = 2
+
+#: ``table -> (attributes, primary_key)`` — also the dump-file schema.
+LSQB_SCHEMA: Dict[str, Tuple[Sequence[str], Optional[str]]] = {
+    "City": (("CityId", "isPartOf_CountryId"), "CityId"),
+    "Person": (("PersonId", "isLocatedIn_CityId"), "PersonId"),
+    "Person_knows_Person": (("Person1Id", "Person2Id"), None),
+}
+
 
 def build_lsqb_database(scale: float = 1.0, seed: Optional[int] = 23) -> Database:
     """Generate the synthetic LSQB-like social network."""
-    rng = random.Random(seed)
+    rng = np.random.default_rng(seed)
     num_countries = max(3, int(12 * scale))
     num_cities = max(6, int(120 * scale))
     num_persons = max(20, int(700 * scale))
     num_knows = max(40, int(2200 * scale))
 
     database = Database()
-    database.create_table_columns(
-        "City",
-        ["CityId", "isPartOf_CountryId"],
-        [
-            list(range(num_cities)),
-            [rng.randrange(num_countries) for _ in range(num_cities)],
-        ],
-        primary_key="CityId",
+
+    city = ChunkedTableBuilder("City", *LSQB_SCHEMA["City"])
+    for step in chunk_sizes(num_cities):
+        start = len(city)
+        city.append(
+            [
+                np.arange(start, start + step, dtype=np.int64),
+                rng.integers(0, num_countries, step),
+            ]
+        )
+    city.ingest(database)
+
+    person = ChunkedTableBuilder("Person", *LSQB_SCHEMA["Person"])
+    for step in chunk_sizes(num_persons):
+        start = len(person)
+        person.append(
+            [
+                np.arange(start, start + step, dtype=np.int64),
+                rng.integers(0, num_cities, step),
+            ]
+        )
+    person.ingest(database)
+
+    def uniform(rng: np.random.Generator, count: int) -> np.ndarray:
+        return rng.integers(0, num_persons, count)
+
+    sources, targets = generate_unique_edges(
+        rng, num_persons, num_knows, uniform, uniform
     )
-    database.create_table_columns(
-        "Person",
-        ["PersonId", "isLocatedIn_CityId"],
-        [
-            list(range(num_persons)),
-            [rng.randrange(num_cities) for _ in range(num_persons)],
-        ],
-        primary_key="PersonId",
+    knows = ChunkedTableBuilder(
+        "Person_knows_Person", *LSQB_SCHEMA["Person_knows_Person"]
     )
-    knows = set()
-    attempts = 0
-    while len(knows) < num_knows and attempts < num_knows * 20:
-        attempts += 1
-        a = rng.randrange(num_persons)
-        b = rng.randrange(num_persons)
-        if a != b:
-            knows.add((a, b))
-    edges = sorted(knows)
-    database.create_table_columns(
-        "Person_knows_Person",
-        ["Person1Id", "Person2Id"],
-        [[a for a, _ in edges], [b for _, b in edges]],
-    )
+    knows.append([sources, targets])
+    knows.ingest(database)
     return database
 
 

@@ -1,40 +1,238 @@
-"""A registry of the six benchmark queries of the paper's evaluation.
+"""The workload registry: datasets, snapshot-aware loading, benchmark queries.
 
-Table 1 and Figures 5, 6 and 12–17 all range over the same six queries:
-``q_ds`` (TPC-DS), ``q_hto`` .. ``q_hto4`` (Hetionet) and ``q_lb`` (LSQB).
-The registry bundles each query with its database builder and the width
-parameter ``k`` the paper uses for it (2 for all queries except ``q_lb``,
-whose connected soft hypertree width is 3).
+Two registries live here:
+
+* :func:`workload_entries` — the three **datasets** (``tpcds``,
+  ``hetionet``, ``lsqb``) as :class:`WorkloadEntry` records with a common
+  loader interface: deterministic seeded generation at any scale factor
+  (``scale >= 10`` is the paper's SF 10 regime), transparent snapshot
+  caching (:mod:`repro.workloads.snapshot`) and loading of *real* dump
+  files in place of synthetic generation.
+* :func:`benchmark_queries` — the six **queries** of the paper's evaluation
+  (Table 1 and Figures 5, 6 and 12–17): ``q_ds`` (TPC-DS), ``q_hto`` ..
+  ``q_hto4`` (Hetionet) and ``q_lb`` (LSQB), each bundled with its dataset
+  and the width parameter ``k`` the paper uses (2 everywhere except
+  ``q_lb``, whose connected soft hypertree width is 3).
+
+Scaling semantics: every generator multiplies its seed-state table sizes
+(e.g. 900 web-sales rows, 2200 knows-edges, 450 edges per Hetionet
+metaedge) by ``scale`` and clamps to a small minimum, so ``scale=10``
+yields roughly 10× the rows of ``scale=1`` with identical schema and
+distribution shape.  Seeding: each workload has a fixed default seed (7 /
+11 / 23); the same ``(workload, scale, seed)`` triple produces
+byte-identical code columns in any process — which is what makes the
+snapshot cache sound.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.db.database import Database
 from repro.db.query import ConjunctiveQuery
-from repro.workloads.tpcds import build_tpcds_database, tpcds_query_qds
-from repro.workloads.hetionet import build_hetionet_database, hetionet_query
-from repro.workloads.lsqb import build_lsqb_database, lsqb_query_qlb
+from repro.workloads.ingest import load_table_files
+from repro.workloads.snapshot import SnapshotCache, schema_fingerprint
+from repro.workloads.tpcds import (
+    TPCDS_SCHEMA,
+    build_tpcds_database,
+    tpcds_query_qds,
+)
+from repro.workloads.tpcds import GENERATOR_VERSION as _TPCDS_VERSION
+from repro.workloads.hetionet import (
+    HETIONET_SCHEMA,
+    build_hetionet_database,
+    hetionet_query,
+)
+from repro.workloads.hetionet import GENERATOR_VERSION as _HETIONET_VERSION
+from repro.workloads.lsqb import (
+    LSQB_SCHEMA,
+    build_lsqb_database,
+    lsqb_query_qlb,
+)
+from repro.workloads.lsqb import GENERATOR_VERSION as _LSQB_VERSION
+
+#: Snapshot caching in ``cache="auto"`` mode only kicks in at or above this
+#: scale factor: tiny test-sized builds are faster to regenerate than to
+#: round-trip through disk, and caching them would litter the cache dir.
+AUTO_SNAPSHOT_MIN_SCALE = 2.0
+
+#: Environment variable disabling snapshot caching entirely (``auto`` mode).
+SNAPSHOT_DISABLE_ENV_VAR = "REPRO_WORKLOAD_SNAPSHOTS_OFF"
+
+#: How a loader call selects snapshot behaviour (see WorkloadEntry.load).
+CacheSpec = Union[None, bool, str, SnapshotCache]
+
+
+@dataclass
+class WorkloadEntry:
+    """One dataset: schema, deterministic generator, snapshot-aware loader.
+
+    ``schema`` maps every table to ``(attributes, primary_key)`` — it is
+    both the generated schema and the expected layout of real dump files.
+    ``default_seed`` is the seed the paper-figure pipeline uses; pass
+    ``seed`` explicitly for independent replicas.
+    """
+
+    name: str
+    schema: Dict[str, Tuple[Sequence[str], Optional[str]]]
+    generator_version: int
+    build_database: Callable[..., Database]
+    default_seed: int
+    schema_hash: str = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.schema_hash = schema_fingerprint(self.schema, self.generator_version)
+
+    # -- building ----------------------------------------------------------
+
+    def build(self, scale: float = 1.0, seed: Optional[int] = None) -> Database:
+        """Cold-build the synthetic database (no snapshot involvement)."""
+        return self.build_database(scale=scale, seed=self._seed(seed))
+
+    def _seed(self, seed: Optional[int]) -> int:
+        return self.default_seed if seed is None else seed
+
+    def snapshot_path(
+        self, cache: SnapshotCache, scale: float, seed: Optional[int] = None
+    ) -> str:
+        """The snapshot file a ``load`` at these parameters reads/writes."""
+        return cache.path_for(self.name, scale, self._seed(seed), self.schema_hash)
+
+    def _resolve_cache(
+        self, cache: CacheSpec, scale: float
+    ) -> Optional[SnapshotCache]:
+        if isinstance(cache, SnapshotCache):
+            return cache
+        if isinstance(cache, str) and cache != "auto":
+            return SnapshotCache(cache)
+        if cache is True:
+            return SnapshotCache()
+        if cache is False:
+            return None
+        # "auto" / None: cache large builds unless explicitly disabled.
+        if os.environ.get(SNAPSHOT_DISABLE_ENV_VAR):
+            return None
+        if scale >= AUTO_SNAPSHOT_MIN_SCALE:
+            return SnapshotCache()
+        return None
+
+    def load(
+        self,
+        scale: float = 1.0,
+        seed: Optional[int] = None,
+        cache: CacheSpec = "auto",
+    ) -> Database:
+        """The dataset at ``scale``, via the snapshot cache when enabled.
+
+        ``cache`` is ``"auto"`` (cache at ``scale >=``
+        :data:`AUTO_SNAPSHOT_MIN_SCALE`, honouring
+        ``REPRO_WORKLOAD_SNAPSHOTS_OFF``), ``True``/``False`` (force
+        on/off), a cache directory path, or a :class:`SnapshotCache`.
+        """
+        database, _ = self.load_with_status(scale=scale, seed=seed, cache=cache)
+        return database
+
+    def load_with_status(
+        self,
+        scale: float = 1.0,
+        seed: Optional[int] = None,
+        cache: CacheSpec = "auto",
+    ) -> Tuple[Database, bool]:
+        """Like :meth:`load` but also reports whether the snapshot hit."""
+        resolved_seed = self._seed(seed)
+        snapshot_cache = self._resolve_cache(cache, scale)
+        if snapshot_cache is None:
+            return self.build(scale=scale, seed=resolved_seed), False
+        return snapshot_cache.load_or_build(
+            self.name,
+            scale,
+            resolved_seed,
+            self.schema_hash,
+            lambda: self.build(scale=scale, seed=resolved_seed),
+        )
+
+    def load_dump(self, path: str) -> Database:
+        """Load real dump files (one delimited file per table) from ``path``.
+
+        The files must follow :attr:`schema` (see
+        :func:`repro.workloads.ingest.load_table_files`); this is how the
+        harness runs against actual LSQB / Hetionet exports instead of the
+        synthetic stand-ins.
+        """
+        return load_table_files(Database(), path, self.schema)
+
+
+def workload_entries() -> Dict[str, WorkloadEntry]:
+    """The three datasets of the paper's evaluation, by name."""
+    return {
+        "tpcds": WorkloadEntry(
+            name="tpcds",
+            schema=TPCDS_SCHEMA,
+            generator_version=_TPCDS_VERSION,
+            build_database=build_tpcds_database,
+            default_seed=7,
+        ),
+        "hetionet": WorkloadEntry(
+            name="hetionet",
+            schema=HETIONET_SCHEMA,
+            generator_version=_HETIONET_VERSION,
+            build_database=build_hetionet_database,
+            default_seed=11,
+        ),
+        "lsqb": WorkloadEntry(
+            name="lsqb",
+            schema=LSQB_SCHEMA,
+            generator_version=_LSQB_VERSION,
+            build_database=build_lsqb_database,
+            default_seed=23,
+        ),
+    }
+
+
+def workload_entry(name: str) -> WorkloadEntry:
+    """Look up a dataset by name (``tpcds`` / ``hetionet`` / ``lsqb``)."""
+    entries = workload_entries()
+    try:
+        return entries[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(entries)}"
+        ) from exc
 
 
 @dataclass
 class BenchmarkQuery:
-    """One benchmark query together with its data generator and parameters."""
+    """One benchmark query together with its dataset and parameters."""
 
     name: str
     dataset: str
     width: int
-    build_database: Callable[..., Database]
     build_query: Callable[[Database], ConjunctiveQuery]
 
-    def load(self, scale: float = 1.0, seed: Optional[int] = None):
-        """Build (database, query); the seed defaults to the generator's own."""
-        kwargs = {"scale": scale}
-        if seed is not None:
-            kwargs["seed"] = seed
-        database = self.build_database(**kwargs)
+    @property
+    def workload(self) -> WorkloadEntry:
+        return workload_entry(self.dataset)
+
+    def load(
+        self,
+        scale: float = 1.0,
+        seed: Optional[int] = None,
+        cache: CacheSpec = "auto",
+        dump_path: Optional[str] = None,
+    ):
+        """Build ``(database, query)`` through the workload loader.
+
+        ``dump_path`` swaps the synthetic generator for real dump files;
+        otherwise the dataset is generated (snapshot-cached per ``cache``,
+        see :meth:`WorkloadEntry.load`) with the workload's default seed
+        unless ``seed`` is given.
+        """
+        if dump_path is not None:
+            database = self.workload.load_dump(dump_path)
+        else:
+            database = self.workload.load(scale=scale, seed=seed, cache=cache)
         return database, self.build_query(database)
 
 
@@ -45,7 +243,6 @@ def benchmark_queries() -> List[BenchmarkQuery]:
             name=name,
             dataset="hetionet",
             width=2,
-            build_database=build_hetionet_database,
             build_query=lambda db, _name=name: hetionet_query(db, _name),
         )
         for name in ("q_hto", "q_hto2", "q_hto3", "q_hto4")
@@ -55,7 +252,6 @@ def benchmark_queries() -> List[BenchmarkQuery]:
             name="q_ds",
             dataset="tpcds",
             width=2,
-            build_database=build_tpcds_database,
             build_query=tpcds_query_qds,
         ),
         *hetionet_entries,
@@ -63,7 +259,6 @@ def benchmark_queries() -> List[BenchmarkQuery]:
             name="q_lb",
             dataset="lsqb",
             width=3,
-            build_database=build_lsqb_database,
             build_query=lsqb_query_qlb,
         ),
     ]

@@ -1,0 +1,379 @@
+"""On-disk snapshot cache for generated workload databases.
+
+Building a workload at a large scale factor costs a full generation pass
+(RNG streams, edge dedup, dictionary encoding).  All of that is a pure
+function of ``(workload, scale, seed, schema)``, so the result is cached as
+a versioned ``.npz`` dump of the *already encoded* state: one ``int64``
+code array per column plus the interner's value table.  A cache hit
+(:meth:`SnapshotCache.load`) bypasses generation entirely — it is a raw
+``np.load`` plus metadata parsing; the interner's value→code dictionary is
+rebuilt lazily (:meth:`repro.db.interner.ValueInterner.from_values`) only
+if somebody interns a new value later.
+
+Keying and staleness
+--------------------
+
+Snapshots are keyed by ``(workload, scale, seed, schema_hash)``; the hash
+(:func:`schema_fingerprint`) covers the table schemas *and* the generator
+version, so changing a generator invalidates its old snapshots by key.  The
+file format itself carries :data:`SNAPSHOT_VERSION`; loading a snapshot
+written by a different format version raises :class:`StaleSnapshotError`,
+which :meth:`SnapshotCache.load_or_build` treats as a miss (the snapshot is
+rebuilt and overwritten) and ``repro workloads list --strict`` treats as an
+error (CI fails on stale files instead of silently regenerating forever).
+
+The default cache directory is ``workloads/.cache`` under the current
+working directory (gitignored), overridable with the
+``REPRO_WORKLOAD_CACHE`` environment variable or per call.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.db.database import Database
+from repro.db.interner import CODE_DTYPE, ValueInterner
+from repro.db.relation import Relation
+
+#: Version of the on-disk format.  Bump on any layout change; old files
+#: then raise :class:`StaleSnapshotError` instead of loading garbage.
+SNAPSHOT_VERSION = 1
+
+#: Environment variable overriding the default cache directory.
+CACHE_ENV_VAR = "REPRO_WORKLOAD_CACHE"
+
+_META_KEY = "__meta__"
+_VALUES_KEY = "__interner_values__"
+
+
+class StaleSnapshotError(RuntimeError):
+    """A snapshot file exists but cannot be used: written by an
+    incompatible format version, truncated, or not a snapshot at all.
+    :meth:`SnapshotCache.load_or_build` treats it as a cache miss and
+    rebuilds; ``repro workloads list --strict`` treats it as an error."""
+
+
+def default_cache_dir() -> str:
+    """``$REPRO_WORKLOAD_CACHE`` or ``workloads/.cache`` under the cwd."""
+    return os.environ.get(CACHE_ENV_VAR) or os.path.join("workloads", ".cache")
+
+
+def schema_fingerprint(
+    schema: Dict[str, Tuple[Sequence[str], Optional[str]]],
+    generator_version: int,
+) -> str:
+    """A short stable hash of a workload's schema + generator version."""
+    canonical = json.dumps(
+        {
+            "generator_version": generator_version,
+            "tables": {
+                name: {"attributes": list(attributes), "primary_key": primary_key}
+                for name, (attributes, primary_key) in sorted(schema.items())
+            },
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+
+
+@dataclass
+class SnapshotInfo:
+    """One snapshot file as reported by :meth:`SnapshotCache.entries`."""
+
+    path: str
+    workload: str
+    scale: float
+    seed: Optional[int]
+    schema_hash: str
+    version: int
+    total_rows: int
+    size_bytes: int
+
+    @property
+    def stale(self) -> bool:
+        """Written by a different format version than this code understands."""
+        return self.version != SNAPSHOT_VERSION
+
+
+def _scale_token(scale: float) -> str:
+    return format(float(scale), "g").replace(".", "_")
+
+
+def snapshot_filename(
+    workload: str, scale: float, seed: Optional[int], schema_hash: str
+) -> str:
+    """The cache filename for a ``(workload, scale, seed, schema_hash)`` key."""
+    return f"{workload}-scale{_scale_token(scale)}-seed{seed}-{schema_hash}.npz"
+
+
+# -- serialisation ---------------------------------------------------------
+
+
+def _encode_interner(interner: ValueInterner) -> Tuple[str, np.ndarray]:
+    values = interner.values()
+    if all(type(v) is int for v in values):
+        try:
+            return "int64", np.asarray(values, dtype=np.int64)
+        except OverflowError:
+            pass  # an int past 2^63-1: fall through to the JSON encoding
+    # Anything else (strings from real dumps, mixed types, huge ints) goes
+    # through a JSON round-trip per value — lossless for everything json
+    # supports.
+    return "json", np.asarray([json.dumps(v) for v in values], dtype=object)
+
+
+def _decode_interner(kind: str, stored: np.ndarray) -> ValueInterner:
+    if kind == "int64":
+        return ValueInterner.from_values(stored.tolist())
+    return ValueInterner.from_values(json.loads(v) for v in stored.tolist())
+
+
+def save_snapshot(
+    path: str,
+    database: Database,
+    workload: str,
+    scale: float,
+    seed: Optional[int],
+    schema_hash: str,
+) -> str:
+    """Write ``database`` (codes + interner + schema metadata) to ``path``.
+
+    The write is atomic (temp file + rename), so a crashed build never
+    leaves a half-written snapshot behind for later loads to trip over.
+    """
+    interner_kind, interner_values = _encode_interner(database.interner)
+    arrays: Dict[str, np.ndarray] = {_VALUES_KEY: interner_values}
+    tables = {}
+    for name in database.relation_names():
+        relation = database.relation(name)
+        tables[name] = {
+            "attributes": list(relation.attributes),
+            "primary_key": database.primary_key(name),
+            "rows": len(relation),
+        }
+        for attribute in relation.attributes:
+            arrays[f"col::{name}::{attribute}"] = relation.codes(attribute)
+    meta = {
+        "version": SNAPSHOT_VERSION,
+        "workload": workload,
+        "scale": float(scale),
+        "seed": seed,
+        "schema_hash": schema_hash,
+        "interner_kind": interner_kind,
+        "tables": tables,
+        "total_rows": database.total_rows(),
+    }
+    arrays[_META_KEY] = np.asarray(json.dumps(meta))
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    handle, temp_path = tempfile.mkstemp(
+        dir=os.path.dirname(path) or ".", suffix=".npz.tmp"
+    )
+    try:
+        with os.fdopen(handle, "wb") as stream:
+            np.savez(stream, **arrays)
+        os.replace(temp_path, path)
+    except BaseException:
+        if os.path.exists(temp_path):
+            os.unlink(temp_path)
+        raise
+    return path
+
+
+def _open_archive(path: str):
+    """``np.load`` the file, normalising corruption to StaleSnapshotError."""
+    try:
+        return np.load(path, allow_pickle=True)
+    except Exception as exc:  # BadZipFile, EOFError, pickle errors, ...
+        raise StaleSnapshotError(f"snapshot {path!r} is unreadable: {exc}") from exc
+
+
+def read_snapshot_meta(path: str) -> dict:
+    """The metadata record of a snapshot file (no column data is read).
+
+    Raises :class:`StaleSnapshotError` when the file is not a readable
+    snapshot (corrupt, truncated, or a foreign ``.npz``).
+    """
+    with _open_archive(path) as archive:
+        try:
+            return json.loads(str(archive[_META_KEY]))
+        except Exception as exc:
+            raise StaleSnapshotError(
+                f"snapshot {path!r} has no readable metadata: {exc}"
+            ) from exc
+
+
+def load_snapshot(path: str) -> Database:
+    """Reconstruct a database from a snapshot file.
+
+    Raises :class:`StaleSnapshotError` when the file's format version does
+    not match :data:`SNAPSHOT_VERSION` or the file is corrupt.
+    """
+    with _open_archive(path) as archive:
+        try:
+            meta = json.loads(str(archive[_META_KEY]))
+        except Exception as exc:
+            raise StaleSnapshotError(
+                f"snapshot {path!r} has no readable metadata: {exc}"
+            ) from exc
+        if meta.get("version") != SNAPSHOT_VERSION:
+            raise StaleSnapshotError(
+                f"snapshot {path!r} has version {meta.get('version')}, "
+                f"this code reads version {SNAPSHOT_VERSION}"
+            )
+        try:
+            database = Database()
+            database.interner = _decode_interner(
+                meta["interner_kind"], archive[_VALUES_KEY]
+            )
+            for name, table in meta["tables"].items():
+                columns = tuple(
+                    archive[f"col::{name}::{attribute}"].astype(CODE_DTYPE, copy=False)
+                    for attribute in table["attributes"]
+                )
+                relation = Relation._from_codes(
+                    name, table["attributes"], columns, table["rows"], database.interner
+                )
+                database.add_relation(relation, primary_key=table["primary_key"])
+        except (KeyError, ValueError, TypeError) as exc:
+            raise StaleSnapshotError(
+                f"snapshot {path!r} does not match its metadata: {exc}"
+            ) from exc
+    return database
+
+
+def rewrite_snapshot_version(path: str, version: int) -> None:
+    """Rewrite a snapshot file's format version in place.
+
+    Maintenance/testing helper — the one place that knows how to edit the
+    metadata record; the stale-detection tests and the CI smoke script
+    both use it to fabricate out-of-version snapshots.
+    """
+    with _open_archive(path) as archive:
+        arrays = {key: archive[key] for key in archive.files}
+    meta = json.loads(str(arrays[_META_KEY]))
+    meta["version"] = version
+    arrays[_META_KEY] = np.asarray(json.dumps(meta))
+    with open(path, "wb") as handle:
+        np.savez(handle, **arrays)
+
+
+# -- the cache -------------------------------------------------------------
+
+
+class SnapshotCache:
+    """A directory of workload snapshots keyed by build parameters."""
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        self.directory = directory or default_cache_dir()
+
+    def path_for(
+        self, workload: str, scale: float, seed: Optional[int], schema_hash: str
+    ) -> str:
+        return os.path.join(
+            self.directory, snapshot_filename(workload, scale, seed, schema_hash)
+        )
+
+    def load(
+        self, workload: str, scale: float, seed: Optional[int], schema_hash: str
+    ) -> Optional[Database]:
+        """The cached database, or ``None`` on a miss.
+
+        A stale-version or corrupt file propagates
+        :class:`StaleSnapshotError` so callers can distinguish "not
+        cached" from "cached but unusable".
+        """
+        path = self.path_for(workload, scale, seed, schema_hash)
+        if not os.path.exists(path):
+            return None
+        return load_snapshot(path)
+
+    def store(
+        self,
+        workload: str,
+        scale: float,
+        seed: Optional[int],
+        schema_hash: str,
+        database: Database,
+    ) -> str:
+        return save_snapshot(
+            self.path_for(workload, scale, seed, schema_hash),
+            database,
+            workload,
+            scale,
+            seed,
+            schema_hash,
+        )
+
+    def load_or_build(
+        self,
+        workload: str,
+        scale: float,
+        seed: Optional[int],
+        schema_hash: str,
+        builder: Callable[[], Database],
+    ) -> Tuple[Database, bool]:
+        """``(database, hit)`` — load the snapshot or build + store it.
+
+        Stale-version snapshots count as misses and are overwritten by the
+        fresh build.
+        """
+        try:
+            cached = self.load(workload, scale, seed, schema_hash)
+        except StaleSnapshotError:
+            cached = None
+        if cached is not None:
+            return cached, True
+        database = builder()
+        self.store(workload, scale, seed, schema_hash, database)
+        return database, False
+
+    def _snapshot_paths(self) -> List[str]:
+        if not os.path.isdir(self.directory):
+            return []
+        return [
+            os.path.join(self.directory, filename)
+            for filename in sorted(os.listdir(self.directory))
+            if filename.endswith(".npz")
+        ]
+
+    def entries(self) -> List[SnapshotInfo]:
+        """All snapshot files in the cache directory, stale ones included.
+
+        Unreadable files (corrupt, truncated, foreign ``.npz``) are
+        reported as stale placeholder entries rather than raised, so
+        listing and cleaning always work on a damaged cache.
+        """
+        infos = []
+        for path in self._snapshot_paths():
+            try:
+                meta = read_snapshot_meta(path)
+            except StaleSnapshotError:
+                meta = {}
+            infos.append(
+                SnapshotInfo(
+                    path=path,
+                    workload=meta.get("workload", "?"),
+                    scale=float(meta.get("scale", 0.0)),
+                    seed=meta.get("seed"),
+                    schema_hash=meta.get("schema_hash", "?"),
+                    version=int(meta.get("version", -1)),
+                    total_rows=int(meta.get("total_rows", 0)),
+                    size_bytes=os.path.getsize(path),
+                )
+            )
+        return infos
+
+    def clean(self) -> int:
+        """Delete every snapshot file (readable or not); returns the count."""
+        removed = 0
+        for path in self._snapshot_paths():
+            os.unlink(path)
+            removed += 1
+        return removed

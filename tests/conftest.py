@@ -45,6 +45,22 @@ def c5():
 
 
 @pytest.fixture
+def corrupt_snapshot_version():
+    """Rewrite a snapshot file pretending another format version wrote it.
+
+    Thin wrapper around :func:`repro.workloads.snapshot.rewrite_snapshot_version`
+    (the one place that knows the on-disk layout), shared by the snapshot
+    unit tests and the CLI stale-detection tests.
+    """
+    from repro.workloads.snapshot import rewrite_snapshot_version
+
+    def _corrupt(path, version=-1):
+        rewrite_snapshot_version(str(path), version)
+
+    return _corrupt
+
+
+@pytest.fixture
 def triangle_database():
     """A tiny database for the triangle query R(x,y), S(y,z), T(z,x)."""
     database = Database()

@@ -1,0 +1,40 @@
+"""The example scripts stay importable and deprecation-free.
+
+PR 4 turned ``beam`` / ``combinations_per_basis`` into deprecated no-ops;
+the examples must track the current API instead of exercising deprecated
+surfaces, so each one is executed in a subprocess with
+``-W error::DeprecationWarning`` — any use of a deprecated parameter (or a
+stale import) fails the suite, not just CI.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+#: Examples covered by the deprecation gate: the quickstart and the
+#: constrained/distributed tour (the two touched by the PR 4/5 API churn).
+EXAMPLES = ["quickstart.py", "constrained_distributed.py"]
+
+
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_example_runs_without_deprecation_warnings(example):
+    env = dict(os.environ)
+    src = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", "src"))
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-W",
+            "error::DeprecationWarning",
+            os.path.join(EXAMPLES_DIR, example),
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), f"{example} produced no output"

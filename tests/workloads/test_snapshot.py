@@ -1,0 +1,294 @@
+"""Tests for the workload snapshot cache and the registry loader API."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.db.database import Database
+from repro.workloads.ingest import ChunkedTableBuilder, load_table_files
+from repro.workloads.registry import (
+    AUTO_SNAPSHOT_MIN_SCALE,
+    workload_entries,
+    workload_entry,
+)
+from repro.workloads.snapshot import (
+    SNAPSHOT_VERSION,
+    SnapshotCache,
+    StaleSnapshotError,
+    load_snapshot,
+    read_snapshot_meta,
+    save_snapshot,
+    schema_fingerprint,
+)
+
+
+def _databases_equal(a: Database, b: Database) -> bool:
+    if a.relation_names() != b.relation_names():
+        return False
+    for name in a.relation_names():
+        left, right = a.relation(name), b.relation(name)
+        if left.attributes != right.attributes or len(left) != len(right):
+            return False
+        for attribute in left.attributes:
+            if not np.array_equal(left.codes(attribute), right.codes(attribute)):
+                return False
+        if a.primary_key(name) != b.primary_key(name):
+            return False
+    return a.interner.values() == b.interner.values()
+
+
+class TestSnapshotRoundTrip:
+    @pytest.mark.parametrize("workload", ["tpcds", "hetionet", "lsqb"])
+    def test_round_trip_equals_cold_generation(self, tmp_path, workload):
+        entry = workload_entry(workload)
+        cold = entry.build(scale=0.3)
+        path = str(tmp_path / "snap.npz")
+        save_snapshot(path, cold, workload, 0.3, entry.default_seed, entry.schema_hash)
+        loaded = load_snapshot(path)
+        assert _databases_equal(cold, loaded)
+        # Decoded rows (not just codes) agree too.
+        for name in cold.relation_names():
+            assert cold.relation(name).rows == loaded.relation(name).rows
+
+    def test_string_values_round_trip(self, tmp_path):
+        database = Database()
+        database.create_table_columns(
+            "people",
+            ["name", "city"],
+            [["ada", "bob", "ada"], ["x", "y", "x"]],
+            primary_key=None,
+        )
+        path = str(tmp_path / "snap.npz")
+        save_snapshot(path, database, "custom", 1.0, 0, "hash")
+        loaded = load_snapshot(path)
+        assert loaded.relation("people").rows == database.relation("people").rows
+
+    def test_loaded_database_answers_queries(self, tmp_path):
+        from repro.workloads.registry import benchmark_query
+
+        entry = benchmark_query("q_hto3")
+        cache = SnapshotCache(str(tmp_path))
+        database, hit = entry.workload.load_with_status(scale=0.3, cache=cache)
+        assert not hit
+        loaded, hit = entry.workload.load_with_status(scale=0.3, cache=cache)
+        assert hit
+        query = entry.build_query(loaded)
+        assert query.name == "q_hto3"
+
+
+class TestSnapshotCache:
+    def test_miss_then_hit(self, tmp_path):
+        entry = workload_entry("tpcds")
+        cache = SnapshotCache(str(tmp_path))
+        _, hit_first = entry.load_with_status(scale=0.2, cache=cache)
+        _, hit_second = entry.load_with_status(scale=0.2, cache=cache)
+        assert (hit_first, hit_second) == (False, True)
+
+    def test_key_separates_scale_seed_and_schema(self, tmp_path):
+        entry = workload_entry("tpcds")
+        cache = SnapshotCache(str(tmp_path))
+        entry.load(scale=0.2, cache=cache)
+        entry.load(scale=0.4, cache=cache)
+        entry.load(scale=0.2, seed=99, cache=cache)
+        assert len(cache.entries()) == 3
+
+    def test_stale_version_raises_and_rebuilds(self, tmp_path, corrupt_snapshot_version):
+        entry = workload_entry("lsqb")
+        cache = SnapshotCache(str(tmp_path))
+        entry.load(scale=0.2, cache=cache)
+        path = cache.entries()[0].path
+        corrupt_snapshot_version(path)
+        with pytest.raises(StaleSnapshotError):
+            load_snapshot(path)
+        assert cache.entries()[0].stale
+        # load_or_build treats stale as a miss and overwrites the file.
+        _, hit = entry.load_with_status(scale=0.2, cache=cache)
+        assert not hit
+        assert not cache.entries()[0].stale
+
+    def test_clean_removes_everything(self, tmp_path):
+        entry = workload_entry("hetionet")
+        cache = SnapshotCache(str(tmp_path))
+        entry.load(scale=0.2, cache=cache)
+        assert cache.clean() == 1
+        assert cache.entries() == []
+
+    def test_auto_mode_skips_small_scales(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKLOAD_CACHE", str(tmp_path))
+        entry = workload_entry("tpcds")
+        entry.load(scale=0.2)  # below AUTO_SNAPSHOT_MIN_SCALE: no snapshot
+        assert SnapshotCache().entries() == []
+        assert AUTO_SNAPSHOT_MIN_SCALE > 1.0
+
+    def test_auto_mode_caches_large_scales(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKLOAD_CACHE", str(tmp_path))
+        entry = workload_entry("tpcds")
+        entry.load(scale=AUTO_SNAPSHOT_MIN_SCALE)
+        assert len(SnapshotCache().entries()) == 1
+
+    def test_auto_mode_disable_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKLOAD_CACHE", str(tmp_path))
+        monkeypatch.setenv("REPRO_WORKLOAD_SNAPSHOTS_OFF", "1")
+        workload_entry("tpcds").load(scale=AUTO_SNAPSHOT_MIN_SCALE)
+        assert SnapshotCache().entries() == []
+
+
+class TestSchemaFingerprint:
+    def test_sensitive_to_schema_and_version(self):
+        schema = {"t": (("a", "b"), "a")}
+        base = schema_fingerprint(schema, 1)
+        assert schema_fingerprint(schema, 2) != base
+        assert schema_fingerprint({"t": (("a", "c"), "a")}, 1) != base
+        assert schema_fingerprint(schema, 1) == base
+
+    def test_entries_have_distinct_hashes(self):
+        hashes = {entry.schema_hash for entry in workload_entries().values()}
+        assert len(hashes) == 3
+
+
+class TestDumpLoading:
+    def test_load_dump_csv_with_header(self, tmp_path):
+        (tmp_path / "City.csv").write_text(
+            "CityId,isPartOf_CountryId\n0,0\n1,0\n2,1\n"
+        )
+        (tmp_path / "Person.csv").write_text(
+            "PersonId,isLocatedIn_CityId\n0,0\n1,2\n"
+        )
+        (tmp_path / "Person_knows_Person.csv").write_text(
+            "Person1Id,Person2Id\n0,1\n"
+        )
+        database = workload_entry("lsqb").load_dump(str(tmp_path))
+        assert database.relation("City").rows == [(0, 0), (1, 0), (2, 1)]
+        assert database.primary_key("City") == "CityId"
+        assert database.primary_key("Person") == "PersonId"
+
+    def test_load_dump_string_columns(self, tmp_path):
+        # Non-integer dump columns stay strings and survive the columnar
+        # ingest (object arrays take the per-value interning path).
+        (tmp_path / "t.csv").write_text("name,score\nada,1\nbob,2\nada,3\n")
+        database = load_table_files(
+            Database(), str(tmp_path), {"t": (("name", "score"), None)}
+        )
+        assert database.relation("t").rows == [("ada", 1), ("bob", 2), ("ada", 3)]
+
+    def test_column_type_is_decided_over_the_whole_column(self, tmp_path):
+        # A non-numeric value appearing only after a chunk boundary must
+        # turn the *whole* column into strings — per-chunk inference would
+        # make rows from different chunks silently unjoinable.
+        lines = [f"{i},{i}" for i in range(5)] + ["N/A,5"]
+        (tmp_path / "t.csv").write_text("a,b\n" + "\n".join(lines) + "\n")
+        database = load_table_files(
+            Database(), str(tmp_path), {"t": (("a", "b"), None)}, chunk_rows=2
+        )
+        rows = database.relation("t").rows
+        assert rows[0] == ("0", 0)
+        assert rows[-1] == ("N/A", 5)
+        assert {type(a) for a, _ in rows} == {str}
+
+    def test_ids_past_int64_fall_back_to_strings(self, tmp_path):
+        huge = 2**64
+        (tmp_path / "t.csv").write_text(f"a,b\n{huge},1\n2,2\n")
+        database = load_table_files(
+            Database(), str(tmp_path), {"t": (("a", "b"), None)}
+        )
+        assert database.relation("t").rows == [(str(huge), 1), ("2", 2)]
+
+    def test_load_dump_tsv_without_header(self, tmp_path):
+        for table in workload_entry("hetionet").schema:
+            (tmp_path / f"{table}.tsv").write_text("0\t1\n1\t2\n")
+        database = workload_entry("hetionet").load_dump(str(tmp_path))
+        assert database.relation("hetio45159").rows == [(0, 1), (1, 2)]
+
+    def test_missing_file_reports_table(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="City"):
+            workload_entry("lsqb").load_dump(str(tmp_path))
+
+    def test_dump_database_runs_benchmark_query(self, tmp_path):
+        from repro.workloads.hetionet import hetionet_query
+
+        for table in workload_entry("hetionet").schema:
+            (tmp_path / f"{table}.csv").write_text(
+                "s,d\n" + "".join(f"{i},{i + 1}\n" for i in range(6))
+            )
+        database = workload_entry("hetionet").load_dump(str(tmp_path))
+        query = hetionet_query(database, "q_hto3")
+        assert len(query.atoms) == 4
+
+
+class TestChunkedTableBuilder:
+    def test_chunks_concatenate(self):
+        database = Database()
+        builder = ChunkedTableBuilder("t", ["a", "b"])
+        builder.append([np.array([1, 2]), np.array([3, 4])])
+        builder.append([np.array([5]), np.array([6])])
+        builder.ingest(database)
+        assert database.relation("t").rows == [(1, 3), (2, 4), (5, 6)]
+
+    def test_ragged_chunk_rejected(self):
+        builder = ChunkedTableBuilder("t", ["a", "b"])
+        with pytest.raises(ValueError, match="ragged"):
+            builder.append([np.array([1, 2]), np.array([3])])
+
+    def test_wrong_arity_rejected(self):
+        builder = ChunkedTableBuilder("t", ["a", "b"])
+        with pytest.raises(ValueError, match="columns"):
+            builder.append([np.array([1])])
+
+
+class TestCorruptFiles:
+    """A damaged cache directory stays listable, cleanable and loadable."""
+
+    def _cache_with_junk(self, tmp_path):
+        entry = workload_entry("tpcds")
+        cache = SnapshotCache(str(tmp_path))
+        entry.load(scale=0.2, cache=cache)
+        junk = tmp_path / "junk.npz"
+        junk.write_bytes(b"this is not a zip archive")
+        return entry, cache, str(junk)
+
+    def test_entries_report_unreadable_files_as_stale(self, tmp_path):
+        _, cache, junk = self._cache_with_junk(tmp_path)
+        infos = {info.path: info for info in cache.entries()}
+        assert len(infos) == 2
+        assert infos[junk].stale and infos[junk].workload == "?"
+
+    def test_clean_removes_unreadable_files(self, tmp_path):
+        _, cache, _ = self._cache_with_junk(tmp_path)
+        assert cache.clean() == 2
+        assert cache.entries() == []
+
+    def test_corrupt_named_snapshot_is_rebuilt(self, tmp_path):
+        entry = workload_entry("tpcds")
+        cache = SnapshotCache(str(tmp_path))
+        entry.load(scale=0.2, cache=cache)
+        path = entry.snapshot_path(cache, 0.2)
+        with open(path, "wb") as handle:
+            handle.write(b"truncated")
+        with pytest.raises(StaleSnapshotError):
+            load_snapshot(path)
+        database, hit = entry.load_with_status(scale=0.2, cache=cache)
+        assert not hit
+        assert database.total_rows() > 0
+        _, hit = entry.load_with_status(scale=0.2, cache=cache)
+        assert hit
+
+    def test_read_meta_raises_stale_error(self, tmp_path):
+        junk = tmp_path / "junk.npz"
+        junk.write_bytes(b"nope")
+        with pytest.raises(StaleSnapshotError, match="unreadable"):
+            read_snapshot_meta(str(junk))
+
+
+class TestMetadata:
+    def test_read_snapshot_meta(self, tmp_path):
+        entry = workload_entry("tpcds")
+        cache = SnapshotCache(str(tmp_path))
+        entry.load(scale=0.2, cache=cache)
+        info = cache.entries()[0]
+        meta = read_snapshot_meta(info.path)
+        assert meta["workload"] == "tpcds"
+        assert meta["version"] == SNAPSHOT_VERSION
+        assert meta["schema_hash"] == entry.schema_hash
+        assert info.total_rows == meta["total_rows"] > 0
+        assert os.path.getsize(info.path) == info.size_bytes
