@@ -1,0 +1,150 @@
+"""Robustness benchmark — the cost of resource governance (PR 6).
+
+Times the three solver families the other benches track (kernel-style
+candidate bags + Algorithm 1, Algorithm 2 with constraint/preference, and
+ranked any-k enumeration) twice per instance:
+
+* **ungoverned** — ``budget=None``, the default path.  The only governance
+  residue on this path is an ``is None`` check per loop head, so these
+  timings are the "no budget set" numbers of the acceptance criterion and
+  the ``BENCH_*_MIN_SPEEDUP`` gates of the sibling benches keep them
+  honest against the recorded pre-governance baselines.
+* **governed** — an active, generous ``Budget`` (work cap far above what
+  the instance needs), i.e. every tick is really counted and the deadline
+  machinery armed.  This is the *upper bound* on what governance can cost.
+
+Both runs must produce identical results (the generous budget changes
+nothing), and the geomean governed/ungoverned overhead is asserted under
+``BENCH_ROBUSTNESS_MAX_OVERHEAD`` (default 1.10 — the paper-facing target
+is <= 3% but shared runners are noisy on sub-second regions; the measured
+per-instance ratios are all recorded in ``BENCH_robustness.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+
+from conftest import RESULTS_DIR, best_of as _best_of, geomean as _geomean
+
+from repro.core.candidate_bags import soft_candidate_bags
+from repro.core.constrained import constrained_candidate_td
+from repro.core.constraints import ConnectedCoverConstraint
+from repro.core.ctd import candidate_td
+from repro.core.enumerate import enumerate_ctds
+from repro.core.preferences import NodeCountPreference
+from repro.hypergraph.generators import (
+    random_cyclic_query_hypergraph,
+    random_hypergraph,
+)
+from repro.hypergraph.library import (
+    cycle_hypergraph,
+    four_cycle_query,
+    hypergraph_h2,
+)
+from repro.runtime import Budget
+
+#: Far above the work any instance below needs, so the governed run is
+#: identical in behaviour and differs only in bookkeeping.
+GENEROUS_WORK = 10**9
+
+REPEATS = 5
+
+
+def _kernel_task(hypergraph, k):
+    def run(budget=None):
+        bags = soft_candidate_bags(hypergraph, k, budget=budget)
+        td = candidate_td(hypergraph, bags, budget=budget)
+        return (bags, None if td is None else frozenset(td.bags()))
+
+    return run
+
+
+def _constrained_task(hypergraph, k):
+    constraint = ConnectedCoverConstraint(hypergraph, k)
+    preference = NodeCountPreference()
+
+    def run(budget=None):
+        bags = soft_candidate_bags(hypergraph, k, budget=budget)
+        td = constrained_candidate_td(
+            hypergraph, bags, constraint, preference, budget=budget
+        )
+        return None if td is None else frozenset(td.bags())
+
+    return run
+
+
+def _enumerate_task(hypergraph, k, limit):
+    preference = NodeCountPreference()
+
+    def run(budget=None):
+        bags = soft_candidate_bags(hypergraph, k, budget=budget)
+        tds = enumerate_ctds(
+            hypergraph, bags, preference=preference, limit=limit, budget=budget
+        )
+        return [frozenset(td.bags()) for td in tds]
+
+    return run
+
+
+def _instances():
+    return [
+        ("kernel-h2-k2", _kernel_task(hypergraph_h2(), 2)),
+        ("kernel-cycle24-k2", _kernel_task(cycle_hypergraph(24), 2)),
+        (
+            "kernel-random26-k2",
+            _kernel_task(random_hypergraph(26, 18, max_edge_size=3, seed=3), 2),
+        ),
+        ("constrained-c4-k2", _constrained_task(four_cycle_query(), 2)),
+        (
+            "constrained-cyclic12-k2",
+            _constrained_task(random_cyclic_query_hypergraph(12, 3, seed=5), 2),
+        ),
+        ("enumerate-cycle12-k2-top10", _enumerate_task(cycle_hypergraph(12), 2, 10)),
+        ("enumerate-h2-k2-top10", _enumerate_task(hypergraph_h2(), 2, 10)),
+    ]
+
+
+def test_governance_overhead():
+    rows = []
+    for name, task in _instances():
+        ungoverned = task()
+        governed = task(budget=Budget(max_work=GENEROUS_WORK))
+        assert governed == ungoverned, name  # a generous budget changes nothing
+
+        ungoverned_s = _best_of(lambda: task(), repeats=REPEATS)
+        governed_s = _best_of(
+            lambda: task(budget=Budget(max_work=GENEROUS_WORK)), repeats=REPEATS
+        )
+        rows.append(
+            {
+                "instance": name,
+                "ungoverned_s": ungoverned_s,
+                "governed_s": governed_s,
+                "overhead": governed_s / ungoverned_s,
+            }
+        )
+        print(
+            f"{name}: ungoverned {ungoverned_s * 1e3:.2f} ms, "
+            f"governed {governed_s * 1e3:.2f} ms "
+            f"(x{governed_s / ungoverned_s:.3f})"
+        )
+
+    summary = {"geomean_overhead": _geomean([row["overhead"] for row in rows])}
+    payload = {
+        "benchmark": "robustness-governance-overhead",
+        "python": platform.python_version(),
+        "repeats": REPEATS,
+        "generous_work": GENEROUS_WORK,
+        "instances": rows,
+        "summary": summary,
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(
+        os.path.join(RESULTS_DIR, "BENCH_robustness.json"), "w", encoding="utf-8"
+    ) as handle:
+        json.dump(payload, handle, indent=2)
+
+    maximum = float(os.environ.get("BENCH_ROBUSTNESS_MAX_OVERHEAD", "1.10"))
+    assert summary["geomean_overhead"] <= maximum, payload

@@ -10,6 +10,7 @@ Exercises the whole loader surface against a throwaway cache directory:
    and is transparently rebuilt by the loader afterwards.
 """
 
+import os
 import sys
 import tempfile
 
@@ -54,7 +55,8 @@ def main() -> None:
             fail("strict list failed on a healthy cache")
 
         # Corrupt one snapshot's format version: strict listing must fail,
-        # the loader must treat it as a miss and rebuild.
+        # the loader must treat it as a miss, quarantine the stale file
+        # (renamed ``*.corrupt``, kept as evidence) and rebuild.
         victim = cache.entries()[0]
         rewrite_snapshot_version(victim.path, -1)
 
@@ -64,9 +66,15 @@ def main() -> None:
         _, hit = entry.load_with_status(scale=SCALE, cache=cache)
         if hit:
             fail("stale snapshot was served as a hit instead of rebuilt")
+        if len(cache.quarantined()) != 1:
+            fail("stale snapshot was not quarantined on rebuild")
+        if cli_main(["workloads", "list", "--cache", cache_dir, "--strict"]) != 1:
+            fail("strict list did not flag the quarantined file")
+        for quarantined_path in cache.quarantined():
+            os.unlink(quarantined_path)
         if cli_main(["workloads", "list", "--cache", cache_dir, "--strict"]):
-            fail("strict list still failing after the stale snapshot was rebuilt")
-        print("stale-version snapshot detected and rebuilt")
+            fail("strict list still failing after the quarantine was cleared")
+        print("stale-version snapshot detected, quarantined and rebuilt")
 
     print("workload snapshot smoke tests passed")
 

@@ -7,13 +7,23 @@ HyperBench-format text files, widths and decompositions go out as text.
 Usage (also available as ``python -m repro``)::
 
     python -m repro width QUERY.hg --measure shw -k 3
-    python -m repro decompose QUERY.hg -k 2 --concov
+    python -m repro decompose QUERY.hg -k 2 --concov --timeout 30
+    python -m repro enumerate QUERY.hg -k 2 --limit 5 --max-work 1000000
     python -m repro stats QUERY.hg
     python -m repro experiment q_hto3 --limit 5
     python -m repro table1
     python -m repro workloads build --scale 10
     python -m repro workloads list --strict
     python -m repro workloads clean
+
+Resource governance: the solving verbs (``width``, ``decompose``,
+``enumerate``, ``experiment``) accept ``--timeout SECONDS`` and
+``--max-work N``.  A governed run prints a one-line ``outcome:`` status
+and maps it to the exit code: 0 for ``complete``, 124 for ``deadline``
+(as ``timeout(1)``), 125 for ``budget_exhausted``, 130 for
+``interrupted`` (Ctrl-C).  Results printed by a non-complete run are
+anytime results: valid as far as they go, not necessarily the full
+answer.
 """
 
 from __future__ import annotations
@@ -32,6 +42,51 @@ def _load_hypergraph(path: str):
         return parse_hyperbench(handle.read())
 
 
+# -- resource governance ---------------------------------------------------
+
+
+def _budget_arguments(parser) -> None:
+    """Attach ``--timeout`` / ``--max-work`` to a governed verb."""
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock deadline; stopping yields the anytime result and exit code 124",
+    )
+    parser.add_argument(
+        "--max-work",
+        type=int,
+        default=None,
+        dest="max_work",
+        metavar="N",
+        help="work-unit cap; stopping yields the anytime result and exit code 125",
+    )
+
+
+def _make_budget(args):
+    """A Budget from the verb's --timeout/--max-work flags, or ``None``."""
+    if args.timeout is None and args.max_work is None:
+        return None
+    from repro.runtime.budget import Budget
+
+    return Budget(deadline=args.timeout, max_work=args.max_work)
+
+
+def _finish(budget, out, ok: int = 0) -> int:
+    """Print the outcome line of a governed run and pick the exit code.
+
+    Ungoverned runs stay silent and keep the handler's own code; governed
+    runs report their :class:`SolveOutcome` and map any early stop to the
+    status' distinct exit code.
+    """
+    if budget is None:
+        return ok
+    outcome = budget.outcome()
+    print(outcome.describe(), file=out)
+    return outcome.exit_code if outcome.partial else ok
+
+
 def _print_decomposition(decomposition, out) -> None:
     def walk(node, depth=0):
         bag = ", ".join(sorted(map(str, decomposition.bag(node))))
@@ -47,10 +102,19 @@ def _cmd_width(args, out) -> int:
     if args.measure == "shw":
         from repro.core.soft import soft_hypertree_width
 
-        width, _ = soft_hypertree_width(
-            hypergraph, max_k=args.max_k, iterations=args.iterations
-        )
-    elif args.measure == "hw":
+        budget = _make_budget(args)
+        try:
+            width, _ = soft_hypertree_width(
+                hypergraph, max_k=args.max_k, iterations=args.iterations, budget=budget
+            )
+        except ValueError:
+            if budget is not None and budget.exhausted:
+                print("width undetermined: run stopped early", file=out)
+                return _finish(budget, out)
+            raise
+        print(f"{args.measure} = {width}", file=out)
+        return _finish(budget, out)
+    if args.measure == "hw":
         from repro.baselines.detkdecomp import hypertree_width
 
         width = hypertree_width(hypergraph, max_k=args.max_k)
@@ -62,6 +126,12 @@ def _cmd_width(args, out) -> int:
         from repro.baselines.treewidth import treewidth_min_fill
 
         width = treewidth_min_fill(hypergraph)
+    if args.timeout is not None or args.max_work is not None:
+        print(
+            f"note: --timeout/--max-work only govern --measure shw; "
+            f"{args.measure} ran unbounded",
+            file=out,
+        )
     print(f"{args.measure} = {width}", file=out)
     return 0
 
@@ -73,21 +143,61 @@ def _cmd_decompose(args, out) -> int:
     from repro.core.constraints import ConnectedCoverConstraint
     from repro.core.ctd import candidate_td
 
-    bags = soft_candidate_bags(hypergraph, args.width)
+    budget = _make_budget(args)
+    bags = soft_candidate_bags(hypergraph, args.width, budget=budget)
     if args.concov:
         constraint = ConnectedCoverConstraint(hypergraph, args.width)
         decomposition = constrained_candidate_td(
-            hypergraph, bags, constraint=constraint
+            hypergraph, bags, constraint=constraint, budget=budget
         )
     else:
         # Unconstrained: Algorithm 1's incremental fixpoint, like soft.shw_leq.
-        decomposition = candidate_td(hypergraph, bags)
+        decomposition = candidate_td(hypergraph, bags, budget=budget)
     if decomposition is None:
         label = "ConCov-shw" if args.concov else "shw"
-        print(f"no decomposition of {label} width <= {args.width}", file=out)
-        return 1
+        qualifier = (
+            "run stopped early, result inconclusive: "
+            if budget is not None and budget.exhausted
+            else "no decomposition of "
+        )
+        print(f"{qualifier}{label} width <= {args.width}", file=out)
+        return _finish(budget, out, ok=1)
     _print_decomposition(decomposition, out)
-    return 0
+    return _finish(budget, out)
+
+
+def _cmd_enumerate(args, out) -> int:
+    hypergraph = _load_hypergraph(args.hypergraph)
+    from repro.core.candidate_bags import soft_candidate_bags
+    from repro.core.constraints import ConnectedCoverConstraint
+    from repro.core.enumerate import CTDEnumerator
+    from repro.core.preferences import NodeCountPreference
+
+    budget = _make_budget(args)
+    bags = soft_candidate_bags(hypergraph, args.width, budget=budget)
+    constraint = (
+        ConnectedCoverConstraint(hypergraph, args.width) if args.concov else None
+    )
+    enumerator = CTDEnumerator(
+        hypergraph,
+        bags,
+        constraint=constraint,
+        preference=NodeCountPreference(),
+        budget=budget,
+    )
+    count = 0
+    for decomposition in enumerator.iter_decompositions():
+        count += 1
+        print(f"# decomposition {count}", file=out)
+        _print_decomposition(decomposition, out)
+        if count >= args.limit:
+            break
+    if count == 0:
+        if budget is not None and budget.exhausted:
+            print("run stopped early before the first decomposition", file=out)
+        else:
+            print(f"no decomposition of width <= {args.width}", file=out)
+    return _finish(budget, out, ok=0 if count else 1)
 
 
 def _cmd_stats(args, out) -> int:
@@ -103,8 +213,9 @@ def _cmd_experiment(args, out) -> int:
     from repro.workloads.registry import benchmark_query
 
     entry = benchmark_query(args.query)
+    budget = _make_budget(args)
     experiment = QueryExperiment.from_benchmark(
-        entry, scale=args.scale, seed=args.seed, dump_path=args.dump
+        entry, scale=args.scale, seed=args.seed, dump_path=args.dump, budget=budget
     )
     decompositions, elapsed = experiment.ranked_decompositions(limit=args.limit)
     evaluations = experiment.evaluate(decompositions)
@@ -127,7 +238,7 @@ def _cmd_experiment(args, out) -> int:
         ["", f"Baseline: work={baseline.work}, result={baseline.result}"],
     )
     print(text, file=out)
-    return 0
+    return _finish(budget, out)
 
 
 def _cmd_table1(args, out) -> int:
@@ -179,7 +290,7 @@ def _cmd_workloads_list(args, out) -> int:
 
     cache = _workload_cache(args)
     infos = cache.entries()
-    if not infos:
+    if not infos and not cache.quarantined():
         print(f"no snapshots under {cache.directory}", file=out)
         return 0
     current_hashes = {
@@ -204,8 +315,15 @@ def _cmd_workloads_list(args, out) -> int:
             f"{os.path.basename(info.path)}{reason}",
             file=out,
         )
-    print(f"{len(infos)} snapshot(s), {stale_count} stale", file=out)
-    if args.strict and stale_count:
+    quarantined = cache.quarantined()
+    for path in quarantined:
+        print(f"quarantined: {os.path.basename(path)}", file=out)
+    print(
+        f"{len(infos)} snapshot(s), {stale_count} stale, "
+        f"{len(quarantined)} quarantined",
+        file=out,
+    )
+    if args.strict and (stale_count or quarantined):
         return 1
     return 0
 
@@ -235,13 +353,29 @@ def build_parser() -> argparse.ArgumentParser:
     width.add_argument("--measure", choices=["shw", "hw", "ghw", "tw"], default="shw")
     width.add_argument("-k", "--max-k", type=int, default=None, dest="max_k")
     width.add_argument("--iterations", type=int, default=0, help="shw_i iteration level")
+    _budget_arguments(width)
     width.set_defaults(handler=_cmd_width)
 
     decompose = subparsers.add_parser("decompose", help="compute a soft decomposition")
     decompose.add_argument("hypergraph")
     decompose.add_argument("-k", "--width", type=int, required=True)
     decompose.add_argument("--concov", action="store_true", help="require connected covers")
+    _budget_arguments(decompose)
     decompose.set_defaults(handler=_cmd_decompose)
+
+    enumerate_parser = subparsers.add_parser(
+        "enumerate", help="enumerate ranked soft decompositions"
+    )
+    enumerate_parser.add_argument("hypergraph")
+    enumerate_parser.add_argument("-k", "--width", type=int, required=True)
+    enumerate_parser.add_argument(
+        "--limit", type=int, default=5, help="how many decompositions to print"
+    )
+    enumerate_parser.add_argument(
+        "--concov", action="store_true", help="require connected covers"
+    )
+    _budget_arguments(enumerate_parser)
+    enumerate_parser.set_defaults(handler=_cmd_enumerate)
 
     stats = subparsers.add_parser("stats", help="structural statistics of a hypergraph")
     stats.add_argument("hypergraph")
@@ -265,6 +399,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="load real dump files from DIR instead of generating",
     )
+    _budget_arguments(experiment)
     experiment.set_defaults(handler=_cmd_experiment)
 
     table1 = subparsers.add_parser("table1", help="reproduce Table 1")
@@ -309,11 +444,23 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None, out=None) -> int:
-    """Entry point; returns the process exit code."""
+    """Entry point; returns the process exit code.
+
+    A Ctrl-C that escapes the governed solvers (e.g. during parsing or an
+    ungoverned verb) still exits with the conventional 130 instead of a
+    traceback; governed verbs convert it to an ``interrupted`` outcome with
+    their partial results before it ever reaches here.
+    """
     out = out if out is not None else sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args, out)
+    try:
+        return args.handler(args, out)
+    except KeyboardInterrupt:
+        from repro.runtime.budget import EXIT_CODES, STATUS_INTERRUPTED
+
+        print("interrupted", file=out)
+        return EXIT_CODES[STATUS_INTERRUPTED]
 
 
 if __name__ == "__main__":

@@ -27,16 +27,23 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tup
 from repro.hypergraph.bitset import pairwise_and_masks
 from repro.hypergraph.hypergraph import Edge, Hypergraph, Vertex
 from repro.hypergraph.components import component_vertices, edge_components
+from repro.runtime.budget import Budget
 
 Bag = FrozenSet[Vertex]
 
 
-def _component_union_masks(hypergraph: Hypergraph, k: int) -> Set[int]:
+def _component_union_masks(
+    hypergraph: Hypergraph, k: int, budget: Optional[Budget] = None
+) -> Set[int]:
     """Masks of all ``⋃C`` where ``C`` is a [λ2]-component for some ``|λ2| ≤ k``.
 
     Includes ``λ2 = ∅`` (whose components are the connected components of the
     hypergraph).  Duplicate separators arising from different ``λ2`` are
     collapsed before any component is computed.
+
+    An exhausted ``budget`` stops the enumeration early; the partial result
+    is a sound under-approximation (every returned mask is a real component
+    union).
     """
     bitsets = hypergraph.bitsets
     edge_masks = bitsets.edge_masks
@@ -45,8 +52,10 @@ def _component_union_masks(hypergraph: Hypergraph, k: int) -> Set[int]:
     separators_seen: Set[int] = {0}
     result.update(bitsets.component_unions(0))
 
-    def extend(start: int, union: int, size: int) -> None:
+    def extend(start: int, union: int, size: int) -> bool:
         for i in range(start, len(edge_masks)):
+            if budget is not None and not budget.try_tick():
+                return False
             mask = edge_masks[i]
             extended = union | mask
             if extended == union:
@@ -57,8 +66,9 @@ def _component_union_masks(hypergraph: Hypergraph, k: int) -> Set[int]:
             if extended not in separators_seen:
                 separators_seen.add(extended)
                 result.update(bitsets.component_unions(extended))
-            if size + 1 < limit:
-                extend(i + 1, extended, size + 1)
+            if size + 1 < limit and not extend(i + 1, extended, size + 1):
+                return False
+        return True
 
     if limit >= 1:
         extend(0, 0, 0)
@@ -71,20 +81,29 @@ def _component_vertex_sets(hypergraph: Hypergraph, k: int) -> Set[Bag]:
     return {to_frozenset(mask) for mask in _component_union_masks(hypergraph, k)}
 
 
-def _cover_union_masks(vertex_set_masks: Iterable[int], k: int) -> Set[int]:
-    """All distinct unions of between 1 and ``k`` of the given masks."""
+def _cover_union_masks(
+    vertex_set_masks: Iterable[int], k: int, budget: Optional[Budget] = None
+) -> Set[int]:
+    """All distinct unions of between 1 and ``k`` of the given masks.
+
+    An exhausted ``budget`` stops the enumeration early with a sound
+    partial result (a subset of the full union set).
+    """
     distinct = sorted(set(vertex_set_masks))
     result: Set[int] = set()
 
-    def extend(start: int, union: int, size: int) -> None:
+    def extend(start: int, union: int, size: int) -> bool:
         for i in range(start, len(distinct)):
+            if budget is not None and not budget.try_tick():
+                return False
             extended = union | distinct[i]
             if size and extended == union:
                 # distinct[i] ⊆ union: the same union is produced without it.
                 continue
             result.add(extended)
-            if size + 1 < k:
-                extend(i + 1, extended, size + 1)
+            if size + 1 < k and not extend(i + 1, extended, size + 1):
+                return False
+        return True
 
     if k >= 1:
         extend(0, 0, 0)
@@ -107,9 +126,11 @@ def _cover_unions(edge_sets: Sequence[FrozenSet[Vertex]], k: int) -> Set[Bag]:
     return {indexer.to_frozenset(mask) for mask in _cover_union_masks(masks, k)}
 
 
-def soft_candidate_bags(hypergraph: Hypergraph, k: int) -> Set[Bag]:
+def soft_candidate_bags(
+    hypergraph: Hypergraph, k: int, budget: Optional[Budget] = None
+) -> Set[Bag]:
     """The set ``Soft_{H,k}`` of Definition 3 (non-empty bags only)."""
-    return iterated_soft_candidate_bags(hypergraph, k, iterations=0)
+    return iterated_soft_candidate_bags(hypergraph, k, iterations=0, budget=budget)
 
 
 def soft_bag(
@@ -145,32 +166,66 @@ class SoftBagGenerator:
 
     Internally every level is a set of int masks; conversions to frozensets
     only happen in the public accessors.
+
+    A ``budget`` (:class:`repro.runtime.Budget`) governs the enumeration
+    loops cooperatively: when it exhausts, the generator stops enumerating,
+    sets ``truncated`` (the same sound-under-approximation semantics as
+    ``max_subedges``) and every returned bag set is a subset of the full
+    one — any decomposition found over it is still a valid soft
+    decomposition, only a "no" answer becomes inconclusive.
     """
 
     def __init__(
-        self, hypergraph: Hypergraph, k: int, max_subedges: Optional[int] = None
+        self,
+        hypergraph: Hypergraph,
+        k: int,
+        max_subedges: Optional[int] = None,
+        budget: Optional[Budget] = None,
     ):
         if k < 1:
             raise ValueError("k must be at least 1")
         self.hypergraph = hypergraph
         self.k = k
         self.max_subedges = max_subedges
+        self.budget = budget
         self._indexer = hypergraph.bitsets.indexer
         self._component_masks: Tuple[int, ...] = tuple(
-            sorted(_component_union_masks(hypergraph, k))
+            sorted(_component_union_masks(hypergraph, k, budget))
         )
         # E^(0) is the original edge set (as vertex masks).
         self._subedge_levels: List[Set[int]] = [set(hypergraph.bitsets.edge_masks)]
         self._soft_levels: List[Set[int]] = [
             self._soft_from_subedges(self._subedge_levels[0])
         ]
-        self.truncated = False
+        self.truncated = budget is not None and budget.exhausted
 
     # -- internals -------------------------------------------------------------
 
+    def _pre_charge(self, units: int) -> bool:
+        """Charge a vectorised batch to the budget before running it.
+
+        ``pairwise_and_masks`` is one numpy-ish bulk step; it cannot tick
+        per element, so the batch is charged up front and skipped entirely
+        when the budget cannot afford it.  The amortization window of the
+        generator is therefore one batch.
+        """
+        budget = self.budget
+        if budget is None:
+            return True
+        if not budget.try_tick(max(1, units)):
+            self.truncated = True
+            return False
+        return True
+
     def _soft_from_subedges(self, subedge_masks: Set[int]) -> Set[int]:
         """``{ (⋃λ1) ∩ (⋃C) }`` for λ1 of ≤ k subedges and C over components."""
-        unions = _cover_union_masks(subedge_masks, self.k)
+        unions = _cover_union_masks(subedge_masks, self.k, self.budget)
+        if self.budget is not None and self.budget.exhausted:
+            self.truncated = True
+        if not self._pre_charge(len(unions)):
+            # Intersecting a subset of the unions would yield a sound
+            # partial set too, but an exhausted budget should stop cheaply.
+            return set()
         return pairwise_and_masks(list(unions), self._component_masks)
 
     def _next_subedges(self, level: int) -> Set[int]:
@@ -178,6 +233,8 @@ class SoftBagGenerator:
         current = self._subedge_levels[level]
         max_subedges = self.max_subedges
         if max_subedges is None:
+            if not self._pre_charge(len(current)):
+                return set(current)
             result = pairwise_and_masks(
                 list(current), list(self._soft_levels[level])
             )
@@ -187,8 +244,12 @@ class SoftBagGenerator:
         soft = sorted(self._soft_levels[level])
         result = set(current)
         add = result.add
+        budget = self.budget
         for subedge in sorted(current):
             for bag in soft:
+                if budget is not None and not budget.try_tick():
+                    self.truncated = True
+                    return result
                 intersection = subedge & bag
                 if intersection:
                     add(intersection)
@@ -250,9 +311,10 @@ def iterated_soft_candidate_bags(
     k: int,
     iterations: int = 0,
     max_subedges: Optional[int] = None,
+    budget: Optional[Budget] = None,
 ) -> Set[Bag]:
     """``Soft^iterations_{H,k}`` — convenience wrapper over :class:`SoftBagGenerator`."""
-    generator = SoftBagGenerator(hypergraph, k, max_subedges=max_subedges)
+    generator = SoftBagGenerator(hypergraph, k, max_subedges=max_subedges, budget=budget)
     return generator.candidate_bags(iterations)
 
 

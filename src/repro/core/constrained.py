@@ -46,7 +46,7 @@ and ``benchmarks/test_bench_constrained.py`` tracks the speedup.
 from __future__ import annotations
 
 from collections import deque
-from typing import FrozenSet, Iterable, List, Optional
+from typing import FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.hypergraph.hypergraph import Hypergraph, Vertex
 from repro.decompositions.td import TreeDecomposition
@@ -55,10 +55,21 @@ from repro.core.constraints import SubtreeConstraint
 from repro.core.fragments import Fragment, make_fragment
 from repro.core.options import _REJECTED, SolverCore
 from repro.core.preferences import Preference
+from repro.runtime.budget import Budget, BudgetExceeded, SolveOutcome, completed_outcome
 
 
 class ConstrainedCTDSolver:
-    """Event-driven dynamic program keeping the ≤-minimal compliant decomposition."""
+    """Event-driven dynamic program keeping the ≤-minimal compliant decomposition.
+
+    Governed solving (*anytime semantics*): with a
+    :class:`~repro.runtime.Budget` (constructor or ``solve(budget=...)``),
+    the fixpoint ticks once per probe evaluation.  On exhaustion — or
+    Ctrl-C under a budget — the per-block best entries accumulated so far
+    are kept: every one is a constraint-compliant partial decomposition,
+    so :meth:`solve` returns the best root fragment found so far (possibly
+    ``None``) and :attr:`outcome` says whether it is the proven optimum
+    (``complete``) or a best-effort answer.
+    """
 
     def __init__(
         self,
@@ -66,13 +77,17 @@ class ConstrainedCTDSolver:
         candidate_bags: Iterable[Bag],
         constraint: Optional[SubtreeConstraint] = None,
         preference: Optional[Preference] = None,
+        budget: Optional[Budget] = None,
     ):
         # The shared core (repro.core.options) carries the filtered bag set,
         # the block index, the probe tables and the per-fragment memo tables
         # that turn the per-probe decomposition rebuilds of the seed DP into
         # dict lookups.
-        self.core = SolverCore(hypergraph, candidate_bags, constraint, preference)
+        self.core = SolverCore(
+            hypergraph, candidate_bags, constraint, preference, budget=budget
+        )
         self.hypergraph = hypergraph
+        self.budget = budget
         self.constraint = self.core.constraint
         self.preference = self.core.preference
         self.index = self.core.index
@@ -83,6 +98,15 @@ class ConstrainedCTDSolver:
         self._best_fragment: List[Optional[Fragment]] = []
         self._best_state: List[object] = []
         self._solved = False
+        self._outcome: Optional[SolveOutcome] = None
+
+    def _set_budget(self, budget: Optional[Budget]) -> None:
+        if budget is None:
+            return
+        if self._solved:
+            raise RuntimeError("budget must be supplied before the solver runs")
+        self.budget = budget
+        self.core.budget = budget
 
     # -- fragment evaluation ---------------------------------------------------
 
@@ -110,54 +134,65 @@ class ConstrainedCTDSolver:
         candidate_bags = self.index.candidate_bags
         best_fragment = self._best_fragment
         best_key = self._best_key
+        budget = self.budget
         current_key = best_key[block_id]
         current_fragment = best_fragment[block_id]
         changed = False
-        for cand_id, live_subs in probes[block_id]:
-            ok = True
-            for sub in live_subs:
-                if not satisfied[sub]:
-                    ok = False
-                    break
-            if not ok:
-                continue
-            fragment = make_fragment(
-                candidate_bags[cand_id],
-                [best_fragment[sub] for sub in live_subs],
-            )
-            if current_fragment is not None and fragment == current_fragment:
-                continue
-            evaluation = self._evaluate_fragment(fragment)
-            if evaluation is _REJECTED:
-                continue
-            key, state = evaluation
-            if current_fragment is None or key < current_key:
-                current_key, current_fragment = key, fragment
-                self._best_state[block_id] = state
-                changed = True
-        if not changed:
-            return
-        best_key[block_id] = current_key
-        best_fragment[block_id] = current_fragment
-        satisfied[block_id] = 1
-        # Event: this block was newly satisfied or its key improved — either
-        # way every parent whose probes use it as a sub must be re-examined
-        # (parents not yet reached by the bottom-up sweep will see the fresh
-        # state on their first probe).
-        for parent in parents.get(block_id, ()):
-            if probed[parent] and not in_queue[parent]:
-                in_queue[parent] = 1
-                queue.append(parent)
+        # try/finally: a BudgetExceeded (or Ctrl-C) mid-scan must not lose
+        # a strictly better fragment already found in this round — committing
+        # it is what makes the exhausted solver's answer its true best-so-far.
+        try:
+            for cand_id, live_subs in probes[block_id]:
+                if budget is not None:
+                    budget.tick()
+                ok = True
+                for sub in live_subs:
+                    if not satisfied[sub]:
+                        ok = False
+                        break
+                if not ok:
+                    continue
+                fragment = make_fragment(
+                    candidate_bags[cand_id],
+                    [best_fragment[sub] for sub in live_subs],
+                )
+                if current_fragment is not None and fragment == current_fragment:
+                    continue
+                evaluation = self._evaluate_fragment(fragment)
+                if evaluation is _REJECTED:
+                    continue
+                key, state = evaluation
+                if current_fragment is None or key < current_key:
+                    current_key, current_fragment = key, fragment
+                    self._best_state[block_id] = state
+                    changed = True
+        finally:
+            if changed:
+                best_key[block_id] = current_key
+                best_fragment[block_id] = current_fragment
+                satisfied[block_id] = 1
+                # Event: this block was newly satisfied or its key improved —
+                # either way every parent whose probes use it as a sub must be
+                # re-examined (parents not yet reached by the bottom-up sweep
+                # will see the fresh state on their first probe).
+                for parent in parents.get(block_id, ()):
+                    if probed[parent] and not in_queue[parent]:
+                        in_queue[parent] = 1
+                        queue.append(parent)
 
     def _run(self) -> None:
         if self._solved:
             return
         index = self.index
+        budget = self.budget
         block_count = index.block_count()
         component_masks = index.mask_arrays()[1]
         order = index.topological_order_ids()
 
         satisfied = bytearray(block_count)
+        # Published up front: on budget exhaustion the partially-filled
+        # arrays ARE the anytime answer (per-block bests found so far).
+        self._satisfied = satisfied
         self._best_key = [None] * block_count
         self._best_fragment = [None] * block_count
         self._best_state = [None] * block_count
@@ -166,29 +201,37 @@ class ConstrainedCTDSolver:
                 # Trivially satisfied: no component, no node, no fragment.
                 satisfied[block_id] = 1
 
-        # Static probe tables: feasible candidates per block and the reverse
-        # sub-block -> dependent-blocks map that routes worklist events.
-        probes, parents = self.core.probe_tables()
+        try:
+            # Static probe tables: feasible candidates per block and the
+            # reverse sub-block -> dependent-blocks map routing worklist
+            # events (governed: can exhaust the budget before any probe).
+            probes, parents = self.core.probe_tables()
 
-        queue: deque = deque()
-        in_queue = bytearray(block_count)
-        probed = bytearray(block_count)
-        # Bottom-up sweep in topological order: sub-blocks precede the blocks
-        # that can use them, so most blocks settle on their first probe and
-        # the worklist only carries the residual events.
-        for block_id in order:
-            if component_masks[block_id]:
+            queue: deque = deque()
+            in_queue = bytearray(block_count)
+            probed = bytearray(block_count)
+            # Bottom-up sweep in topological order: sub-blocks precede the
+            # blocks that can use them, so most blocks settle on their first
+            # probe and the worklist only carries the residual events.
+            for block_id in order:
+                if component_masks[block_id]:
+                    self._probe_block(
+                        block_id, probes, satisfied, queue, in_queue, parents, probed
+                    )
+                probed[block_id] = 1
+            while queue:
+                block_id = queue.popleft()
+                in_queue[block_id] = 0
                 self._probe_block(
                     block_id, probes, satisfied, queue, in_queue, parents, probed
                 )
-            probed[block_id] = 1
-        while queue:
-            block_id = queue.popleft()
-            in_queue[block_id] = 0
-            self._probe_block(
-                block_id, probes, satisfied, queue, in_queue, parents, probed
-            )
-        self._satisfied = satisfied
+        except BudgetExceeded:
+            pass  # anytime: keep the per-block bests found so far
+        except KeyboardInterrupt:
+            if budget is None:
+                raise
+            budget.mark_interrupted()
+        self._outcome = budget.outcome() if budget is not None else completed_outcome()
         self._solved = True
 
     # -- public API ----------------------------------------------------------------------
@@ -212,8 +255,15 @@ class ConstrainedCTDSolver:
             return self._trivial_decomposition() is not None
         return True
 
-    def solve(self) -> Optional[TreeDecomposition]:
-        """Return the ≤-minimal constraint-compliant CTD, or ``None``."""
+    def solve(self, budget: Optional[Budget] = None) -> Optional[TreeDecomposition]:
+        """Return the ≤-minimal constraint-compliant CTD, or ``None``.
+
+        With an exhausted ``budget`` this degrades to the *best CTD found
+        so far* (any returned decomposition is always compliant and valid;
+        only its optimality and a ``None`` answer become inconclusive) —
+        check :attr:`outcome` to tell the cases apart.
+        """
+        self._set_budget(budget)
         self._run()
         root_id = self.index.block_id(self.index.root_block)
         if not self._satisfied[root_id]:
@@ -225,6 +275,20 @@ class ConstrainedCTDSolver:
         # on itself and is built from accepted (hence compliant) children,
         # which is exactly ``holds_recursively`` unrolled.
         return self._materialise(fragment)
+
+    def solve_with_outcome(
+        self, budget: Optional[Budget] = None
+    ) -> Tuple[Optional[TreeDecomposition], SolveOutcome]:
+        """``(best decomposition or None, outcome)`` — the governed entry point."""
+        decomposition = self.solve(budget=budget)
+        return decomposition, self.outcome
+
+    @property
+    def outcome(self) -> SolveOutcome:
+        """How the fixpoint ended; ``complete`` unless a budget cut it short."""
+        self._run()
+        assert self._outcome is not None
+        return self._outcome
 
     def optimal_key(self):
         """The preference key of the optimal compliant CTD (``None`` if infeasible)."""
@@ -278,7 +342,10 @@ def constrained_candidate_td(
     candidate_bags: Iterable[FrozenSet[Vertex]],
     constraint: Optional[SubtreeConstraint] = None,
     preference: Optional[Preference] = None,
+    budget: Optional[Budget] = None,
 ) -> Optional[TreeDecomposition]:
     """Solve the ``(𝒞, ≤)``-CandidateTD problem (Algorithm 2)."""
-    solver = ConstrainedCTDSolver(hypergraph, candidate_bags, constraint, preference)
+    solver = ConstrainedCTDSolver(
+        hypergraph, candidate_bags, constraint, preference, budget=budget
+    )
     return solver.solve()

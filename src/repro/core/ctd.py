@@ -35,40 +35,59 @@ seed's round-robin fixpoint, kept as
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, FrozenSet, Iterable, List, Optional
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.hypergraph.hypergraph import Hypergraph, Vertex
 from repro.decompositions.td import TreeDecomposition
 from repro.decompositions.tree import RootedTree, TreeNode
 from repro.core.blocks import Bag, Block
 from repro.core.options import SolverCore
+from repro.runtime.budget import Budget, BudgetExceeded, SolveOutcome, completed_outcome
 
 
 class CandidateTDSolver:
-    """Decides the CandidateTD problem and extracts a witnessing CTD."""
+    """Decides the CandidateTD problem and extracts a witnessing CTD.
 
-    def __init__(self, hypergraph: Hypergraph, candidate_bags: Iterable[Bag]):
+    With a :class:`~repro.runtime.Budget` the fixpoint is governed: one
+    tick per (candidate, block) probe.  On exhaustion (or Ctrl-C under a
+    budget) the solver keeps the satisfied blocks found so far — every one
+    of them is genuinely witnessed, so ``decide() is True`` remains sound,
+    while ``False`` becomes inconclusive; :attr:`outcome` reports which.
+    """
+
+    def __init__(
+        self,
+        hypergraph: Hypergraph,
+        candidate_bags: Iterable[Bag],
+        budget: Optional[Budget] = None,
+    ):
         self.hypergraph = hypergraph
-        self.core = SolverCore(hypergraph, candidate_bags)
+        self.budget = budget
+        self.core = SolverCore(hypergraph, candidate_bags, budget=budget)
         self.index = self.core.index
         self._basis: Dict[Block, Optional[Bag]] = {}
         self._satisfied: Dict[Block, bool] = {}
         self._solved = False
+        self._outcome: Optional[SolveOutcome] = None
 
     # -- Algorithm 1 -------------------------------------------------------------
 
-    def _run_fixpoint(self) -> None:
-        if self._solved:
-            return
+    def _fixpoint(self, satisfied: bytearray, basis_cand: List[Optional[int]]) -> None:
+        """The governed fixpoint loops; mutates ``satisfied``/``basis_cand``.
+
+        Raises :class:`BudgetExceeded` mid-loop when the budget exhausts;
+        the arrays then hold a valid partial fixpoint (everything marked
+        satisfied is witnessed) for the caller's anytime boundary.
+        """
         index = self.index
+        budget = self.budget
+        # Probe ticks are flushed in batches: the per-probe cost is one
+        # local increment, and flushing at most ``check_interval`` units per
+        # tick keeps the deadline's amortization window intact.
+        flush_at = 0 if budget is None else min(256, budget.check_interval)
+        unflushed = 0
         order = index.topological_order_ids()
-        block_count = index.block_count()
         head_masks, component_masks, union_masks, touching_masks = index.mask_arrays()
-        satisfied = bytearray(block_count)
-        basis_cand: List[Optional[int]] = [None] * block_count
-        for block_id in range(block_count):
-            if not component_masks[block_id]:
-                satisfied[block_id] = 1
         candidate_masks = index.candidate_masks
         # Per candidate, the ids of the blocks it heads (its potential
         # sub-blocks): candidate bags are indexed by the vertex sets they
@@ -91,6 +110,8 @@ class CandidateTDSolver:
         for block_id in order:
             if satisfied[block_id]:
                 continue
+            if budget is not None:
+                budget.tick()
             block_union = union_masks[block_id]
             block_component = component_masks[block_id]
             block_head = head_masks[block_id]
@@ -99,6 +120,13 @@ class CandidateTDSolver:
             for cand_id, candidate_mask in enumerate(candidate_masks):
                 if candidate_mask & not_union or candidate_mask == block_head:
                     continue
+                # One work unit per probe attempt: candidates rejected by
+                # the one-comparison subset prefilter above are free.
+                if budget is not None:
+                    unflushed += 1
+                    if unflushed >= flush_at:
+                        budget.tick(unflushed)
+                        unflushed = 0
                 covered = candidate_mask
                 subs = []
                 for sub_id in candidate_sub_ids[cand_id]:
@@ -117,18 +145,45 @@ class CandidateTDSolver:
                     break
                 for s in pending:
                     waiters.setdefault(s, []).append((block_id, cand_id, subs))
+        if budget is not None and unflushed:
+            budget.tick(unflushed)
+            unflushed = 0
         # Worklist: once a sub-block is satisfied, re-probe exactly the pairs
         # that were waiting on it.  A pair stays registered on its other
         # pending sub-blocks, so its last-satisfied dependency re-probes it.
         while queue:
             event = queue.popleft()
             for block_id, cand_id, subs in waiters.pop(event, ()):
+                if budget is not None:
+                    budget.tick()
                 if satisfied[block_id]:
                     continue
                 if all(satisfied[s] for s in subs):
                     basis_cand[block_id] = cand_id
                     satisfied[block_id] = 1
                     queue.append(block_id)
+
+    def _run_fixpoint(self) -> None:
+        if self._solved:
+            return
+        index = self.index
+        block_count = index.block_count()
+        component_masks = index.mask_arrays()[1]
+        satisfied = bytearray(block_count)
+        basis_cand: List[Optional[int]] = [None] * block_count
+        for block_id in range(block_count):
+            if not component_masks[block_id]:
+                satisfied[block_id] = 1
+        budget = self.budget
+        try:
+            self._fixpoint(satisfied, basis_cand)
+        except BudgetExceeded:
+            pass  # anytime: keep the partial fixpoint, report via outcome
+        except KeyboardInterrupt:
+            if budget is None:
+                raise
+            budget.mark_interrupted()
+        self._outcome = budget.outcome() if budget is not None else completed_outcome()
         # Materialise the id-space result into the Block-keyed public maps.
         candidate_bags = index.candidate_bags
         empty: Bag = frozenset()
@@ -158,10 +213,27 @@ class CandidateTDSolver:
         return self._satisfied.get(root, False)
 
     def solve(self) -> Optional[TreeDecomposition]:
-        """Return a CompNF CTD, or ``None`` if none exists."""
+        """Return a CompNF CTD, or ``None`` if none exists.
+
+        Under an exhausted budget a ``None`` is inconclusive — check
+        :attr:`outcome` (a witnessing decomposition, when returned, is
+        always a real CTD regardless of the budget).
+        """
         if not self.decide():
             return None
         return self._build_decomposition()
+
+    def solve_with_outcome(self) -> Tuple[Optional[TreeDecomposition], SolveOutcome]:
+        """``(decomposition or None, outcome)`` — the governed entry point."""
+        decomposition = self.solve()
+        return decomposition, self.outcome
+
+    @property
+    def outcome(self) -> SolveOutcome:
+        """How the fixpoint ended; ``complete`` unless a budget cut it short."""
+        self._run_fixpoint()
+        assert self._outcome is not None
+        return self._outcome
 
     def satisfied_blocks(self) -> List[Block]:
         """The blocks that were satisfied by the fixpoint (for inspection)."""
@@ -210,7 +282,9 @@ class CandidateTDSolver:
 
 
 def candidate_td(
-    hypergraph: Hypergraph, candidate_bags: Iterable[FrozenSet[Vertex]]
+    hypergraph: Hypergraph,
+    candidate_bags: Iterable[FrozenSet[Vertex]],
+    budget: Optional[Budget] = None,
 ) -> Optional[TreeDecomposition]:
     """Solve the CandidateTD problem (Algorithm 1) and return a CTD or ``None``."""
-    return CandidateTDSolver(hypergraph, candidate_bags).solve()
+    return CandidateTDSolver(hypergraph, candidate_bags, budget=budget).solve()

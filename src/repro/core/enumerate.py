@@ -68,6 +68,7 @@ from repro.core.fragments import (
 )
 from repro.core.options import SolverCore
 from repro.core.preferences import Preference
+from repro.runtime.budget import Budget, BudgetExceeded, SolveOutcome, completed_outcome
 
 __all__ = ["CTDEnumerator", "enumerate_ctds", "fragment_to_decomposition"]
 
@@ -131,7 +132,10 @@ class _ProbeStream:
     def get(self, i: int) -> Optional[_Entry]:
         """The ``i``-th compliant option, or ``None`` if fewer exist."""
         emitted = self._emitted
+        budget = self._enumerator.core.budget
         while len(emitted) <= i and self._heap:
+            if budget is not None:
+                budget.tick()
             key, tie, config, state, fragment = heappop(self._heap)
             for slot in range(len(config)):
                 deviation = (
@@ -210,21 +214,39 @@ class CTDEnumerator:
         preference: Optional[Preference] = None,
         beam: Optional[int] = None,
         combinations_per_basis: Optional[int] = None,
+        budget: Optional[Budget] = None,
     ):
         if beam is not None:
             _deprecated_parameter("beam")
         if combinations_per_basis is not None:
             _deprecated_parameter("combinations_per_basis")
-        self.core = SolverCore(hypergraph, candidate_bags, constraint, preference)
+        self.core = SolverCore(
+            hypergraph, candidate_bags, constraint, preference, budget=budget
+        )
+        self.budget = budget
         self.hypergraph = hypergraph
         self.constraint = self.core.constraint
         self.preference = self.core.preference
         self.index = self.core.index
-        self._probes = self.core.probe_tables()[0]
         self._lazy = self.preference.monotone and self.preference.order_monotone
         self._probe_streams: Dict[Tuple[int, int], _ProbeStream] = {}
         self._merged_streams: Dict[Tuple[int, Bag], _MergedStream] = {}
         self._exhaustive: Optional[List[List[_Entry]]] = None
+        self._probes_cache: Optional[List] = None
+
+    @property
+    def _probes(self):
+        # Lazy: probe-table construction is budget-governed, so it must run
+        # inside iter_decompositions' anytime boundary, not the constructor.
+        if self._probes_cache is None:
+            self._probes_cache = self.core.probe_tables()[0]
+        return self._probes_cache
+
+    @property
+    def outcome(self) -> SolveOutcome:
+        """How the last enumeration ended (``complete`` without a budget)."""
+        budget = self.budget
+        return budget.outcome() if budget is not None else completed_outcome()
 
     # -- lazy streams ----------------------------------------------------------
 
@@ -257,6 +279,7 @@ class CTDEnumerator:
         if self._exhaustive is not None:
             return self._exhaustive
         index = self.index
+        budget = self.budget
         evaluator = self.core.evaluator
         component_masks = index.mask_arrays()[1]
         candidate_bags = index.candidate_bags
@@ -271,6 +294,8 @@ class CTDEnumerator:
                     continue
                 bag = candidate_bags[cand_id]
                 for combination in product(*child_lists):
+                    if budget is not None:
+                        budget.tick()
                     fragment = make_fragment(
                         bag, [entry[3] for entry in combination]
                     )
@@ -301,8 +326,15 @@ class CTDEnumerator:
             yield from self._exhaustive_options()[root_id]
 
     def iter_decompositions(self) -> Iterator[TreeDecomposition]:
-        """All distinct CTDs in exact ``(preference, canonical tie)`` order."""
+        """All distinct CTDs in exact ``(preference, canonical tie)`` order.
+
+        Under a budget the generator is *anytime*: when the budget exhausts
+        (or Ctrl-C arrives) it stops cleanly, and everything already
+        yielded is an exact prefix of the unbudgeted enumeration order —
+        check :attr:`outcome` for how the run ended.
+        """
         index = self.index
+        budget = self.budget
         root_id = index.block_id(index.root_block)
         assert root_id is not None
         if not index.mask_arrays()[1][root_id]:
@@ -313,13 +345,21 @@ class CTDEnumerator:
                 yield trivial
             return
         seen = set()
-        for entry in self._root_entries(root_id):
-            decomposition = self.core.evaluator.materialise(entry[3])
-            canonical = decomposition.canonical_form()
-            if canonical in seen:
-                continue
-            seen.add(canonical)
-            yield decomposition
+        try:
+            for entry in self._root_entries(root_id):
+                decomposition = self.core.evaluator.materialise(entry[3])
+                canonical = decomposition.canonical_form()
+                if canonical in seen:
+                    continue
+                seen.add(canonical)
+                yield decomposition
+        except BudgetExceeded:
+            return  # anytime: everything yielded so far is an exact prefix
+        except KeyboardInterrupt:
+            if budget is None:
+                raise
+            budget.mark_interrupted()
+            return
 
     def enumerate(self, limit: int = 10) -> List[TreeDecomposition]:
         """The ``limit`` best distinct CTDs (may be fewer if fewer exist)."""
@@ -336,12 +376,18 @@ def enumerate_ctds(
     limit: int = 10,
     beam: Optional[int] = None,
     combinations_per_basis: Optional[int] = None,
+    budget: Optional[Budget] = None,
 ) -> List[TreeDecomposition]:
     """The exact ``limit`` best CompNF CTDs ranked by ``preference``.
 
     ``beam`` and ``combinations_per_basis`` are deprecated no-ops kept for
     call-site compatibility: the enumeration is exact, so they no longer
     influence the result.
+
+    With a ``budget`` the call may return fewer than ``limit``
+    decompositions: what it returns is always an exact prefix of the
+    unbudgeted ranking, and ``budget.status`` / ``budget.outcome()`` say
+    why it stopped.
     """
     # Warn here (not in the constructor) so the warning is attributed to the
     # caller of this function rather than to this module's frames.
@@ -354,5 +400,6 @@ def enumerate_ctds(
         candidate_bags,
         constraint=constraint,
         preference=preference,
+        budget=budget,
     )
     return enumerator.enumerate(limit=limit)

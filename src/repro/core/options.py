@@ -37,6 +37,7 @@ from repro.core.blocks import Bag, BlockIndex
 from repro.core.constraints import NoConstraint, SubtreeConstraint
 from repro.core.fragments import Fragment, fragment_to_decomposition
 from repro.core.preferences import NoPreference, Preference
+from repro.runtime.budget import Budget
 
 #: Marks a fragment rejected by the constraint in the per-fragment memo.
 _REJECTED = object()
@@ -127,8 +128,10 @@ class SolverCore:
         candidate_bags: Iterable[Bag],
         constraint: Optional[SubtreeConstraint] = None,
         preference: Optional[Preference] = None,
+        budget: Optional[Budget] = None,
     ):
         self.hypergraph = hypergraph
+        self.budget = budget
         self.constraint = constraint if constraint is not None else NoConstraint()
         self.preference = preference if preference is not None else NoPreference()
         filtered = self.constraint.filter_bags(
@@ -148,9 +151,17 @@ class SolverCore:
         maps a sub-block id to the blocks whose probes use it, which is the
         reverse edge set the worklists route satisfaction/improvement events
         along.  Both are computed once per core.
+
+        Construction is governed by the core's budget: one
+        :meth:`~repro.runtime.Budget.tick` per block (each
+        ``candidate_probes`` call is one memoised batch), so a
+        :class:`~repro.runtime.BudgetExceeded` can surface here and is
+        handled by the owning solver's anytime boundary.  The memo is only
+        populated on full completion — a later retry recomputes.
         """
         if self._probe_tables is not None:
             return self._probe_tables
+        budget = self.budget
         index = self.index
         component_masks = index.mask_arrays()[1]
         block_count = index.block_count()
@@ -159,6 +170,8 @@ class SolverCore:
         for block_id in range(block_count):
             if not component_masks[block_id]:
                 continue
+            if budget is not None:
+                budget.tick()
             block_probes = index.candidate_probes(block_id)
             probes[block_id] = block_probes
             for _, live_subs in block_probes:

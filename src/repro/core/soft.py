@@ -26,6 +26,7 @@ from repro.core.constrained import ConstrainedCTDSolver
 from repro.core.constraints import SubtreeConstraint
 from repro.core.ctd import CandidateTDSolver
 from repro.core.preferences import Preference
+from repro.runtime.budget import Budget
 
 
 def shw_leq(
@@ -33,6 +34,7 @@ def shw_leq(
     k: int,
     constraint: Optional[SubtreeConstraint] = None,
     preference: Optional[Preference] = None,
+    budget: Optional[Budget] = None,
 ) -> Optional[TreeDecomposition]:
     """Decide ``shw(H) ≤ k`` (or the constrained variant ``𝒞-shw(H) ≤ k``).
 
@@ -40,7 +42,14 @@ def shw_leq(
     ``Soft_{H,k}``) or ``None``.  With a constraint and/or preference the
     constrained solver (Algorithm 2) is used instead of Algorithm 1.
     """
-    return shw_i_leq(hypergraph, k, iterations=0, constraint=constraint, preference=preference)
+    return shw_i_leq(
+        hypergraph,
+        k,
+        iterations=0,
+        constraint=constraint,
+        preference=preference,
+        budget=budget,
+    )
 
 
 def shw_i_leq(
@@ -50,6 +59,7 @@ def shw_i_leq(
     constraint: Optional[SubtreeConstraint] = None,
     preference: Optional[Preference] = None,
     max_subedges: Optional[int] = None,
+    budget: Optional[Budget] = None,
 ) -> Optional[TreeDecomposition]:
     """Decide ``shw_i(H) ≤ k`` and return a witnessing decomposition or ``None``.
 
@@ -58,14 +68,19 @@ def shw_i_leq(
     in the answer remains sound for "yes" instances (any returned
     decomposition is a valid width-k soft decomposition of order ``i``) but a
     ``None`` result no longer proves ``shw_i(H) > k``.
+
+    A ``budget`` governs candidate-bag generation and the solver fixpoint
+    with the same one-sided soundness: a decomposition returned by an
+    exhausted run is still a valid witness, a ``None`` is inconclusive
+    (``budget.status`` distinguishes the cases).
     """
     if k < 1:
         raise ValueError("k must be at least 1")
-    generator = SoftBagGenerator(hypergraph, k, max_subedges=max_subedges)
+    generator = SoftBagGenerator(hypergraph, k, max_subedges=max_subedges, budget=budget)
     bags = generator.candidate_bags(iterations)
     if constraint is None and preference is None:
-        return CandidateTDSolver(hypergraph, bags).solve()
-    solver = ConstrainedCTDSolver(hypergraph, bags, constraint, preference)
+        return CandidateTDSolver(hypergraph, bags, budget=budget).solve()
+    solver = ConstrainedCTDSolver(hypergraph, bags, constraint, preference, budget=budget)
     return solver.solve()
 
 
@@ -75,18 +90,29 @@ def soft_hypertree_width(
     iterations: int = 0,
     constraint: Optional[SubtreeConstraint] = None,
     preference: Optional[Preference] = None,
+    budget: Optional[Budget] = None,
 ) -> Tuple[int, TreeDecomposition]:
     """``shw_i(H)`` (default ``i = 0``) together with a witnessing decomposition.
 
     Searches ``k = 1, 2, ...`` up to ``max_k`` (default: the number of edges,
     for which the single-bag decomposition always works on connected
     hypergraphs).  Raises ``ValueError`` if no decomposition is found within
-    the bound — with a constraint this can genuinely happen.
+    the bound — with a constraint this can genuinely happen.  One ``budget``
+    spans the whole search; an exhausted budget ends it early with the same
+    ``ValueError`` (no width proven), which the caller can tell apart via
+    ``budget.status``.
     """
     limit = max_k if max_k is not None else max(1, hypergraph.num_edges())
     for k in range(1, limit + 1):
+        if budget is not None and budget.exhausted:
+            break
         decomposition = shw_i_leq(
-            hypergraph, k, iterations, constraint=constraint, preference=preference
+            hypergraph,
+            k,
+            iterations,
+            constraint=constraint,
+            preference=preference,
+            budget=budget,
         )
         if decomposition is not None:
             return k, decomposition
@@ -99,10 +125,16 @@ def soft_decomposition(
     iterations: int = 0,
     constraint: Optional[SubtreeConstraint] = None,
     preference: Optional[Preference] = None,
+    budget: Optional[Budget] = None,
 ) -> Optional[TreeDecomposition]:
     """Alias of :func:`shw_i_leq` with a decomposition-centric name."""
     return shw_i_leq(
-        hypergraph, k, iterations, constraint=constraint, preference=preference
+        hypergraph,
+        k,
+        iterations,
+        constraint=constraint,
+        preference=preference,
+        budget=budget,
     )
 
 

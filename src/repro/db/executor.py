@@ -17,7 +17,7 @@ paper: large intermediate results and long run times.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.decompositions.td import TreeDecomposition
@@ -26,6 +26,7 @@ from repro.db.query import ConjunctiveQuery
 from repro.db.relation import Relation, WorkCounter
 from repro.db.stats import CardinalityEstimator
 from repro.db.yannakakis import YannakakisExecutor, atom_relation
+from repro.runtime.budget import Budget, SolveOutcome, completed_outcome
 
 
 @dataclass
@@ -34,7 +35,8 @@ class ExecutionMetrics:
 
     ``work`` (tuples read + written across all operators) is the primary,
     fully deterministic measure the benchmarks report; ``wall_time`` is also
-    recorded for orientation.
+    recorded for orientation.  A budget-cut run has ``outcome.partial``
+    set and ``result=None`` (never a wrong partial answer).
     """
 
     result: object
@@ -42,6 +44,7 @@ class ExecutionMetrics:
     wall_time: float
     max_intermediate: int
     total_intermediate: int
+    outcome: SolveOutcome = field(default_factory=completed_outcome)
 
     def __repr__(self) -> str:
         return (
@@ -71,10 +74,13 @@ class DecompositionExecutor:
         )
 
     def execute(
-        self, decomposition: TreeDecomposition, materialize_result: bool = False
+        self,
+        decomposition: TreeDecomposition,
+        materialize_result: bool = False,
+        budget: Optional[Budget] = None,
     ) -> ExecutionMetrics:
         run = self._executor.execute(
-            decomposition, materialize_result=materialize_result
+            decomposition, materialize_result=materialize_result, budget=budget
         )
         return ExecutionMetrics(
             result=run.result,
@@ -82,6 +88,7 @@ class DecompositionExecutor:
             wall_time=run.wall_time,
             max_intermediate=run.max_intermediate,
             total_intermediate=sum(run.node_sizes.values()),
+            outcome=run.outcome,
         )
 
 

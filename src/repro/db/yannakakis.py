@@ -29,8 +29,28 @@ from repro.core.covers import connected_covers, enumerate_covers, minimum_edge_c
 from repro.db.database import Database
 from repro.db.query import Atom, ConjunctiveQuery
 from repro.db.relation import Relation, WorkCounter
+from repro.runtime.budget import Budget, BudgetExceeded, SolveOutcome, completed_outcome
 
 Bag = FrozenSet[Vertex]
+
+
+class BudgetedWorkCounter(WorkCounter):
+    """A :class:`WorkCounter` that charges every increment to a budget.
+
+    This makes the engine's own work measure (tuples read + written) the
+    budget's work unit: every relational operator already records through
+    the counter, so a single hook governs all of Yannakakis execution.
+    ``charge`` also reads the clock (operators are chunky), so deadlines
+    are honoured operator-by-operator.
+    """
+
+    def __init__(self, budget: Budget):
+        super().__init__()
+        self.budget = budget
+
+    def record(self, read: int, written: int) -> None:
+        super().record(read, written)
+        self.budget.charge(read + written)
 
 
 def atom_relation(database: Database, atom: Atom) -> Relation:
@@ -79,7 +99,12 @@ class NodePlan:
 
 @dataclass
 class YannakakisRun:
-    """The outcome of one decomposition-guided execution."""
+    """The outcome of one decomposition-guided execution.
+
+    ``outcome.partial`` marks a run a budget cut short: ``result`` is then
+    ``None`` (never a silently wrong partial answer) and the size maps
+    cover only the stages that completed.
+    """
 
     result: object
     counter: WorkCounter
@@ -87,6 +112,7 @@ class YannakakisRun:
     node_sizes: Dict[int, int]
     reduced_sizes: Dict[int, int]
     max_intermediate: int
+    outcome: SolveOutcome = completed_outcome()
 
     @property
     def work(self) -> int:
@@ -179,10 +205,45 @@ class YannakakisExecutor:
         self,
         decomposition: TreeDecomposition,
         materialize_result: bool = False,
+        budget: Optional[Budget] = None,
     ) -> YannakakisRun:
-        """Run the three stages and return the aggregate (or materialised) result."""
-        counter = WorkCounter()
+        """Run the three stages and return the aggregate (or materialised) result.
+
+        With a ``budget``, work is metered in the engine's own units
+        (tuples read + written, via :class:`BudgetedWorkCounter`) and the
+        deadline is checked per operator.  An exhausted run returns
+        ``result=None`` with the honest partial counters — never a wrong
+        partial answer — and ``outcome`` says why it stopped.
+        """
+        counter = WorkCounter() if budget is None else BudgetedWorkCounter(budget)
         start = time.perf_counter()
+        try:
+            return self._execute_stages(
+                decomposition, materialize_result, counter, start
+            )
+        except BudgetExceeded:
+            pass
+        except KeyboardInterrupt:
+            if budget is None:
+                raise
+            budget.mark_interrupted()
+        return YannakakisRun(
+            result=None,
+            counter=counter,
+            wall_time=time.perf_counter() - start,
+            node_sizes={},
+            reduced_sizes={},
+            max_intermediate=0,
+            outcome=budget.outcome(),
+        )
+
+    def _execute_stages(
+        self,
+        decomposition: TreeDecomposition,
+        materialize_result: bool,
+        counter: WorkCounter,
+        start: float,
+    ) -> YannakakisRun:
         plans = self.plan(decomposition)
         plan_by_id = {plan.node.node_id: plan for plan in plans}
         bag_relations: Dict[int, Relation] = {}
@@ -233,6 +294,11 @@ class YannakakisExecutor:
                     plans, bag_relations, function, variable
                 )
         wall_time = time.perf_counter() - start
+        outcome = (
+            counter.budget.outcome()
+            if isinstance(counter, BudgetedWorkCounter)
+            else completed_outcome(work=counter.total, elapsed=wall_time)
+        )
         return YannakakisRun(
             result=result,
             counter=counter,
@@ -240,6 +306,7 @@ class YannakakisExecutor:
             node_sizes=node_sizes,
             reduced_sizes=reduced_sizes,
             max_intermediate=max_intermediate,
+            outcome=outcome,
         )
 
     # -- helpers --------------------------------------------------------------------
@@ -296,6 +363,7 @@ def run_yannakakis(
     decomposition: TreeDecomposition,
     max_cover_size: Optional[int] = None,
     prefer_connected: bool = True,
+    budget: Optional[Budget] = None,
 ) -> YannakakisRun:
     """Convenience wrapper: execute ``query`` through ``decomposition``."""
     executor = YannakakisExecutor(
@@ -304,4 +372,4 @@ def run_yannakakis(
         max_cover_size=max_cover_size,
         prefer_connected=prefer_connected,
     )
-    return executor.execute(decomposition)
+    return executor.execute(decomposition, budget=budget)

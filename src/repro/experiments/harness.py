@@ -34,6 +34,7 @@ from repro.db.database import Database
 from repro.db.executor import BaselineExecutor, DecompositionExecutor, ExecutionMetrics
 from repro.db.query import ConjunctiveQuery
 from repro.db.stats import CardinalityEstimator
+from repro.runtime.budget import Budget
 
 
 @dataclass
@@ -64,11 +65,16 @@ class QueryExperiment:
         query: ConjunctiveQuery,
         width: int,
         name: Optional[str] = None,
+        budget: Optional[Budget] = None,
     ):
         self.database = database
         self.query = query
         self.width = width
         self.name = name or query.name
+        # One budget governs the whole experiment pipeline: candidate-bag
+        # generation, ranked enumeration and decomposition execution all
+        # draw from it; exhausted stages degrade to their anytime results.
+        self.budget = budget
         self.hypergraph = query.hypergraph()
         self.estimator = CardinalityEstimator(database)
         self._soft_bags = None
@@ -85,6 +91,7 @@ class QueryExperiment:
         seed: Optional[int] = None,
         cache="auto",
         dump_path: Optional[str] = None,
+        budget: Optional[Budget] = None,
     ) -> "QueryExperiment":
         """Build the experiment for a registry entry (or query name).
 
@@ -100,14 +107,16 @@ class QueryExperiment:
         database, query = entry.load(
             scale=scale, seed=seed, cache=cache, dump_path=dump_path
         )
-        return cls(database, query, entry.width, name=entry.name)
+        return cls(database, query, entry.width, name=entry.name, budget=budget)
 
     # -- candidate bags -----------------------------------------------------------
 
     @property
     def soft_bags(self):
         if self._soft_bags is None:
-            self._soft_bags = soft_candidate_bags(self.hypergraph, self.width)
+            self._soft_bags = soft_candidate_bags(
+                self.hypergraph, self.width, budget=self.budget
+            )
         return self._soft_bags
 
     @property
@@ -151,6 +160,7 @@ class QueryExperiment:
             constraint=constraint,
             preference=preference,
             limit=limit,
+            budget=self.budget,
         )
         elapsed = time.perf_counter() - start
         return decompositions, elapsed
@@ -187,7 +197,7 @@ class QueryExperiment:
         """Execute each decomposition and attach both cost-function values."""
         evaluations = []
         for rank, decomposition in enumerate(decompositions, start=1):
-            metrics = self._executor.execute(decomposition)
+            metrics = self._executor.execute(decomposition, budget=self.budget)
             evaluations.append(
                 DecompositionEvaluation(
                     rank=rank,

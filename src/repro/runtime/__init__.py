@@ -1,0 +1,30 @@
+"""Resource governance and fault injection for the solver stack.
+
+See :mod:`repro.runtime.budget` for deadlines/work budgets/outcomes and
+:mod:`repro.runtime.faults` for the deterministic fault-injection harness;
+``docs/ROBUSTNESS.md`` documents the anytime guarantees per solver.
+"""
+
+from repro.runtime.budget import (
+    EXIT_CODES,
+    STATUS_BUDGET,
+    STATUS_COMPLETE,
+    STATUS_DEADLINE,
+    STATUS_INTERRUPTED,
+    Budget,
+    BudgetExceeded,
+    SolveOutcome,
+    completed_outcome,
+)
+
+__all__ = [
+    "Budget",
+    "BudgetExceeded",
+    "SolveOutcome",
+    "completed_outcome",
+    "EXIT_CODES",
+    "STATUS_BUDGET",
+    "STATUS_COMPLETE",
+    "STATUS_DEADLINE",
+    "STATUS_INTERRUPTED",
+]

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
 from dataclasses import dataclass
@@ -41,6 +42,9 @@ import numpy as np
 from repro.db.database import Database
 from repro.db.interner import CODE_DTYPE, ValueInterner
 from repro.db.relation import Relation
+from repro.runtime.faults import maybe_fail
+
+logger = logging.getLogger(__name__)
 
 #: Version of the on-disk format.  Bump on any layout change; old files
 #: then raise :class:`StaleSnapshotError` instead of loading garbage.
@@ -51,6 +55,11 @@ CACHE_ENV_VAR = "REPRO_WORKLOAD_CACHE"
 
 _META_KEY = "__meta__"
 _VALUES_KEY = "__interner_values__"
+
+#: Suffix appended to a snapshot file when it is quarantined: the cache
+#: found it corrupt or stale and moved it aside so the next build cannot
+#: trip over it again.  ``repro workloads clean`` deletes them.
+QUARANTINE_SUFFIX = ".corrupt"
 
 
 class StaleSnapshotError(RuntimeError):
@@ -125,8 +134,10 @@ def _encode_interner(interner: ValueInterner) -> Tuple[str, np.ndarray]:
             pass  # an int past 2^63-1: fall through to the JSON encoding
     # Anything else (strings from real dumps, mixed types, huge ints) goes
     # through a JSON round-trip per value — lossless for everything json
-    # supports.
-    return "json", np.asarray([json.dumps(v) for v in values], dtype=object)
+    # supports.  Stored as a fixed-width unicode array, NOT object dtype:
+    # object arrays round-trip through pickle, and the loader refuses
+    # pickle for everything except the legacy-format fallback.
+    return "json", np.asarray([json.dumps(v) for v in values], dtype=np.str_)
 
 
 def _decode_interner(kind: str, stored: np.ndarray) -> ValueInterner:
@@ -177,6 +188,7 @@ def save_snapshot(
     )
     try:
         with os.fdopen(handle, "wb") as stream:
+            maybe_fail("snapshot.write")
             np.savez(stream, **arrays)
         os.replace(temp_path, path)
     except BaseException:
@@ -187,11 +199,41 @@ def save_snapshot(
 
 
 def _open_archive(path: str):
-    """``np.load`` the file, normalising corruption to StaleSnapshotError."""
+    """``np.load`` the file, normalising corruption to StaleSnapshotError.
+
+    Pickle is disabled: metadata is a JSON string array and columns are
+    ``int64`` code arrays, so nothing in the current format needs it, and a
+    crafted snapshot must not gain arbitrary code execution through
+    ``np.load``.  The sole legacy exception (object-dtype interner values)
+    is handled by :func:`_interner_values`, never here.
+    """
     try:
-        return np.load(path, allow_pickle=True)
-    except Exception as exc:  # BadZipFile, EOFError, pickle errors, ...
+        maybe_fail("snapshot.read")
+        return np.load(path, allow_pickle=False)
+    except Exception as exc:  # BadZipFile, EOFError, OSError, ...
         raise StaleSnapshotError(f"snapshot {path!r} is unreadable: {exc}") from exc
+
+
+def _interner_values(archive, path: str) -> np.ndarray:
+    """The interner value array, allowing pickle only for this one key.
+
+    Current snapshots store JSON-encoded values as a unicode array, which
+    loads fine with ``allow_pickle=False``.  Snapshots written before the
+    pickle audit used an object-dtype array; for those — and only for that
+    single array — the file is re-opened with pickle enabled.  Column and
+    metadata arrays are never read through this path, so a pickled payload
+    smuggled into any other key still raises.
+    """
+    try:
+        return archive[_VALUES_KEY]
+    except ValueError:  # "Object arrays cannot be loaded when allow_pickle=False"
+        try:
+            with np.load(path, allow_pickle=True) as legacy:
+                return legacy[_VALUES_KEY]
+        except Exception as exc:
+            raise StaleSnapshotError(
+                f"snapshot {path!r} has an unreadable interner table: {exc}"
+            ) from exc
 
 
 def read_snapshot_meta(path: str) -> dict:
@@ -230,7 +272,7 @@ def load_snapshot(path: str) -> Database:
         try:
             database = Database()
             database.interner = _decode_interner(
-                meta["interner_kind"], archive[_VALUES_KEY]
+                meta["interner_kind"], _interner_values(archive, path)
             )
             for name, table in meta["tables"].items():
                 columns = tuple(
@@ -241,7 +283,13 @@ def load_snapshot(path: str) -> Database:
                     name, table["attributes"], columns, table["rows"], database.interner
                 )
                 database.add_relation(relation, primary_key=table["primary_key"])
-        except (KeyError, ValueError, TypeError) as exc:
+        except StaleSnapshotError:
+            raise
+        except Exception as exc:
+            # Anything a damaged file can throw while its members decode —
+            # BadZipFile/zlib errors from torn members, KeyError/ValueError
+            # from metadata that lies about the arrays — means the snapshot
+            # is unusable, never that a wrong database should escape.
             raise StaleSnapshotError(
                 f"snapshot {path!r} does not match its metadata: {exc}"
             ) from exc
@@ -256,7 +304,10 @@ def rewrite_snapshot_version(path: str, version: int) -> None:
     both use it to fabricate out-of-version snapshots.
     """
     with _open_archive(path) as archive:
-        arrays = {key: archive[key] for key in archive.files}
+        arrays = {
+            key: _interner_values(archive, path) if key == _VALUES_KEY else archive[key]
+            for key in archive.files
+        }
     meta = json.loads(str(arrays[_META_KEY]))
     meta["version"] = version
     arrays[_META_KEY] = np.asarray(json.dumps(meta))
@@ -321,18 +372,39 @@ class SnapshotCache:
     ) -> Tuple[Database, bool]:
         """``(database, hit)`` — load the snapshot or build + store it.
 
-        Stale-version snapshots count as misses and are overwritten by the
-        fresh build.
+        Stale-version and corrupt snapshots count as misses: the offending
+        file is quarantined (renamed to ``*.corrupt`` with the reason
+        logged) and the fresh build writes a clean replacement.
         """
         try:
             cached = self.load(workload, scale, seed, schema_hash)
-        except StaleSnapshotError:
+        except StaleSnapshotError as exc:
+            self.quarantine(
+                self.path_for(workload, scale, seed, schema_hash), str(exc)
+            )
             cached = None
         if cached is not None:
             return cached, True
         database = builder()
         self.store(workload, scale, seed, schema_hash, database)
         return database, False
+
+    def quarantine(self, path: str, reason: str) -> Optional[str]:
+        """Move an unusable snapshot aside as ``<path>.corrupt``.
+
+        Returns the quarantine path, or ``None`` when the file no longer
+        exists (e.g. a concurrent process already rebuilt or removed it).
+        An existing quarantine file for the same snapshot is replaced —
+        one bad copy per key is all the post-mortem needs.
+        """
+        if not os.path.exists(path):
+            return None
+        quarantined = path + QUARANTINE_SUFFIX
+        os.replace(path, quarantined)
+        logger.warning(
+            "quarantined snapshot %s -> %s: %s", path, quarantined, reason
+        )
+        return quarantined
 
     def _snapshot_paths(self) -> List[str]:
         if not os.path.isdir(self.directory):
@@ -370,10 +442,32 @@ class SnapshotCache:
             )
         return infos
 
+    def quarantined(self) -> List[str]:
+        """Paths of quarantined (``*.corrupt``) files in the cache directory."""
+        if not os.path.isdir(self.directory):
+            return []
+        return [
+            os.path.join(self.directory, filename)
+            for filename in sorted(os.listdir(self.directory))
+            if filename.endswith(QUARANTINE_SUFFIX)
+        ]
+
     def clean(self) -> int:
-        """Delete every snapshot file (readable or not); returns the count."""
+        """Delete every snapshot, quarantine and stray temp file; returns the count.
+
+        Covers ``*.npz`` (readable or not), ``*.npz.corrupt`` quarantine
+        files, and ``*.npz.tmp*`` leftovers from writes killed between
+        ``mkstemp`` and the cleanup handler.
+        """
         removed = 0
-        for path in self._snapshot_paths():
-            os.unlink(path)
-            removed += 1
+        if not os.path.isdir(self.directory):
+            return removed
+        for filename in sorted(os.listdir(self.directory)):
+            if (
+                filename.endswith(".npz")
+                or filename.endswith(QUARANTINE_SUFFIX)
+                or ".npz.tmp" in filename
+            ):
+                os.unlink(os.path.join(self.directory, filename))
+                removed += 1
         return removed

@@ -1,0 +1,301 @@
+"""Fault-injection tests for the snapshot cache.
+
+Torn writes, truncated and bit-rotted files, out-of-space errors and
+malicious pickles: none of them may ever escape the snapshot layer as a
+wrong database.  The only acceptable behaviours are (a) a clean
+:class:`StaleSnapshotError` that ``load_or_build`` converts into a
+quarantine + rebuild, or (b) a database identical to what the builder
+produces.
+"""
+
+import errno
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.db.database import Database
+from repro.runtime.faults import flip_byte, inject, truncate_file
+from repro.workloads.snapshot import (
+    QUARANTINE_SUFFIX,
+    SNAPSHOT_VERSION,
+    SnapshotCache,
+    StaleSnapshotError,
+    load_snapshot,
+    read_snapshot_meta,
+    save_snapshot,
+)
+
+_META_KEY = "__meta__"
+_VALUES_KEY = "__interner_values__"
+
+
+def small_database() -> Database:
+    """A two-table database with string values (JSON interner encoding)."""
+    database = Database()
+    database.create_table(
+        "R", ["a", "b"], [("x", 1), ("y", 2), ("z", 3)], primary_key="a"
+    )
+    database.create_table("S", ["b", "c"], [(1, "u"), (2, "v"), (3, "w")])
+    return database
+
+
+def int_database() -> Database:
+    """An all-integer database (int64 interner encoding)."""
+    database = Database()
+    database.create_table("T", ["a", "b"], [(1, 10), (2, 20), (3, 30)])
+    return database
+
+
+def database_rows(database: Database):
+    return {
+        name: sorted(database.relation(name).rows)
+        for name in database.relation_names()
+    }
+
+
+@pytest.fixture(params=[small_database, int_database], ids=["json", "int64"])
+def any_database(request):
+    return request.param()
+
+
+def write(tmp_path, database, name="snap.npz"):
+    path = str(tmp_path / name)
+    save_snapshot(path, database, "wl", 1.0, 7, "abc123def456")
+    return path
+
+
+class TestRoundTrip:
+    def test_round_trip_restores_rows(self, tmp_path, any_database):
+        path = write(tmp_path, any_database)
+        assert database_rows(load_snapshot(path)) == database_rows(any_database)
+
+    def test_snapshot_contains_no_pickled_arrays(self, tmp_path):
+        # Every array in a freshly written snapshot must load with
+        # allow_pickle=False — including the JSON-encoded interner table.
+        path = write(tmp_path, small_database())
+        with np.load(path, allow_pickle=False) as archive:
+            for key in archive.files:
+                archive[key]  # raises ValueError on any object array
+
+    def test_legacy_object_interner_still_loads(self, tmp_path):
+        # Snapshots written before the pickle audit stored the interner's
+        # JSON strings in an object-dtype array.  Only that one array may
+        # go through the pickle fallback.
+        database = small_database()
+        path = write(tmp_path, database)
+        with np.load(path, allow_pickle=False) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+        arrays[_VALUES_KEY] = arrays[_VALUES_KEY].astype(object)
+        with open(path, "wb") as handle:
+            np.savez(handle, **arrays)
+        assert database_rows(load_snapshot(path)) == database_rows(database)
+
+
+class TestCorruptFilesNeverEscape:
+    def test_truncation_at_any_point_raises_or_roundtrips(self, tmp_path):
+        database = small_database()
+        reference = database_rows(database)
+        path = write(tmp_path, database)
+        size = os.path.getsize(path)
+        for keep in [0, 1, size // 10, size // 4, size // 2, 3 * size // 4, size - 1]:
+            torn = str(tmp_path / "torn.npz")
+            with open(path, "rb") as src, open(torn, "wb") as dst:
+                dst.write(src.read())
+            truncate_file(torn, keep_bytes=keep)
+            try:
+                recovered = load_snapshot(torn)
+            except StaleSnapshotError:
+                continue  # clean refusal: the acceptable outcome
+            assert database_rows(recovered) == reference
+
+    def test_bit_rot_raises_or_roundtrips(self, tmp_path):
+        database = small_database()
+        reference = database_rows(database)
+        path = write(tmp_path, database)
+        size = os.path.getsize(path)
+        for offset in range(50, size - 50, max(1, size // 13)):
+            rotten = str(tmp_path / "rotten.npz")
+            with open(path, "rb") as src, open(rotten, "wb") as dst:
+                dst.write(src.read())
+            flip_byte(rotten, offset)
+            try:
+                recovered = load_snapshot(rotten)
+            except StaleSnapshotError:
+                continue
+            assert database_rows(recovered) == reference
+
+    def test_malicious_pickled_column_is_rejected(self, tmp_path):
+        # A column smuggled in as an object array (the vehicle for pickle
+        # payloads) must be refused, not unpickled.
+        database = small_database()
+        path = write(tmp_path, database)
+        with np.load(path, allow_pickle=False) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+        meta = json.loads(str(arrays[_META_KEY]))
+        first_column = next(k for k in arrays if k.startswith("col::"))
+        arrays[first_column] = np.asarray(
+            [{"__reduce__": "never called, but never trusted"}], dtype=object
+        )
+        with open(path, "wb") as handle:
+            np.savez(handle, **arrays)
+        assert meta["version"] == SNAPSHOT_VERSION  # failure is pickle, not version
+        with pytest.raises(StaleSnapshotError):
+            load_snapshot(path)
+
+    def test_foreign_npz_is_a_stale_snapshot(self, tmp_path):
+        path = str(tmp_path / "foreign.npz")
+        np.savez(path, payload=np.arange(3))
+        with pytest.raises(StaleSnapshotError):
+            read_snapshot_meta(path)
+        with pytest.raises(StaleSnapshotError):
+            load_snapshot(path)
+
+
+class TestWriteFaults:
+    def test_enospc_leaves_no_partial_and_no_temp(self, tmp_path):
+        database = small_database()
+        target = str(tmp_path / "cache" / "snap.npz")
+        with inject() as plan:
+            plan.fail(
+                "snapshot.write",
+                exc=OSError(errno.ENOSPC, "No space left on device"),
+            )
+            with pytest.raises(OSError):
+                save_snapshot(target, database, "wl", 1.0, 7, "abc123def456")
+            assert plan.remaining() == {}
+        # Neither a half-written snapshot nor a stray temp file remains.
+        assert os.listdir(tmp_path / "cache") == []
+        # The next attempt (space freed) succeeds normally.
+        save_snapshot(target, database, "wl", 1.0, 7, "abc123def456")
+        assert database_rows(load_snapshot(target)) == database_rows(database)
+
+    def test_failed_store_does_not_mask_build_result(self, tmp_path):
+        cache = SnapshotCache(str(tmp_path / "cache"))
+        with inject() as plan:
+            plan.fail("snapshot.write", exc=OSError(errno.ENOSPC, "full"))
+            with pytest.raises(OSError):
+                cache.load_or_build("wl", 1.0, 7, "abc123def456", small_database)
+        assert os.listdir(tmp_path / "cache") == []
+
+
+class TestQuarantine:
+    def _key(self):
+        return ("wl", 1.0, 7, "abc123def456")
+
+    def test_corrupt_snapshot_is_quarantined_and_rebuilt(self, tmp_path):
+        cache = SnapshotCache(str(tmp_path / "cache"))
+        database, hit = cache.load_or_build(*self._key(), small_database)
+        assert not hit
+        path = cache.path_for(*self._key())
+        truncate_file(path, fraction=0.3)
+        rebuilt, hit = cache.load_or_build(*self._key(), small_database)
+        assert not hit
+        assert database_rows(rebuilt) == database_rows(database)
+        # The torn file sits in quarantine, the fresh snapshot is valid.
+        assert cache.quarantined() == [path + QUARANTINE_SUFFIX]
+        assert database_rows(load_snapshot(path)) == database_rows(database)
+        # And the rebuilt snapshot is a hit from now on.
+        _, hit = cache.load_or_build(*self._key(), small_database)
+        assert hit
+
+    def test_scripted_read_fault_quarantines_and_rebuilds(self, tmp_path):
+        cache = SnapshotCache(str(tmp_path / "cache"))
+        database, _ = cache.load_or_build(*self._key(), small_database)
+        with inject() as plan:
+            plan.fail("snapshot.read", exc=OSError(errno.EIO, "I/O error"))
+            rebuilt, hit = cache.load_or_build(*self._key(), small_database)
+        assert not hit
+        assert database_rows(rebuilt) == database_rows(database)
+        assert len(cache.quarantined()) == 1
+        # With the fault gone the rebuilt snapshot loads cleanly.
+        _, hit = cache.load_or_build(*self._key(), small_database)
+        assert hit
+
+    def test_quarantine_replaces_previous_quarantine(self, tmp_path):
+        cache = SnapshotCache(str(tmp_path / "cache"))
+        for _ in range(2):
+            cache.load_or_build(*self._key(), small_database)
+            truncate_file(cache.path_for(*self._key()), fraction=0.5)
+            cache.load_or_build(*self._key(), small_database)
+        assert len(cache.quarantined()) == 1
+
+    def test_entries_ignore_quarantined_files(self, tmp_path):
+        cache = SnapshotCache(str(tmp_path / "cache"))
+        cache.load_or_build(*self._key(), small_database)
+        truncate_file(cache.path_for(*self._key()), fraction=0.5)
+        cache.load_or_build(*self._key(), small_database)
+        assert len(cache.entries()) == 1  # the valid rebuild only
+        assert not cache.entries()[0].stale
+
+    def test_clean_removes_snapshots_quarantine_and_temp_files(self, tmp_path):
+        directory = tmp_path / "cache"
+        cache = SnapshotCache(str(directory))
+        cache.load_or_build(*self._key(), small_database)
+        truncate_file(cache.path_for(*self._key()), fraction=0.5)
+        cache.load_or_build(*self._key(), small_database)
+        (directory / "leftover.npz.tmpXYZ").write_bytes(b"partial")
+        assert cache.clean() == 3
+        assert os.listdir(directory) == []
+        assert cache.quarantined() == []
+
+    def test_quarantine_missing_file_is_a_noop(self, tmp_path):
+        cache = SnapshotCache(str(tmp_path / "cache"))
+        assert cache.quarantine(str(tmp_path / "cache" / "ghost.npz"), "gone") is None
+
+
+class TestConcurrentBuilds:
+    def test_two_processes_converge_on_one_valid_snapshot(self, tmp_path):
+        # Two builders race load_or_build on an empty cache: both must
+        # succeed, and whatever ends up on disk must be a valid snapshot
+        # (atomic temp + rename means last-writer-wins, never a mix).
+        script = textwrap.dedent(
+            """
+            import sys
+            from repro.db.database import Database
+            from repro.workloads.snapshot import SnapshotCache
+
+            def build():
+                database = Database()
+                database.create_table(
+                    "R", ["a", "b"], [("x", 1), ("y", 2), ("z", 3)]
+                )
+                return database
+
+            cache = SnapshotCache(sys.argv[1])
+            database, hit = cache.load_or_build(
+                "wl", 1.0, 7, "abc123def456", build
+            )
+            assert sorted(database.relation("R").rows) == [
+                ("x", 1), ("y", 2), ("z", 3)
+            ]
+            """
+        )
+        directory = str(tmp_path / "cache")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(os.getcwd(), "src"), env.get("PYTHONPATH", "")]
+        )
+        processes = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, directory],
+                env=env,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+            )
+            for _ in range(2)
+        ]
+        for process in processes:
+            _, stderr = process.communicate(timeout=120)
+            assert process.returncode == 0, stderr.decode()
+        cache = SnapshotCache(directory)
+        snapshots = [e for e in cache.entries() if not e.stale]
+        assert len(snapshots) == 1
+        recovered = load_snapshot(snapshots[0].path)
+        assert sorted(recovered.relation("R").rows) == [
+            ("x", 1), ("y", 2), ("z", 3)
+        ]
