@@ -1,0 +1,127 @@
+"""End-to-end smoke test of the fault-tolerant batch runtime (used by CI).
+
+The kill-and-resume proof, against real solver runs:
+
+1. a reference batch (two benchmark queries, supervised worker processes,
+   independent certification) completes cleanly,
+2. the same batch with one worker SIGKILLed on *every* attempt fails that
+   task, checkpoints it, and leaves the other task's certified result in
+   the ledger,
+3. resuming the batch with the fault gone re-runs only the failed task and
+   converges on results identical to the uninterrupted reference,
+4. the ``repro batch`` CLI verb reports the resumed batch and exits 0.
+"""
+
+import os
+import sys
+import tempfile
+
+from repro.cli import main as cli_main
+from repro.experiments.harness import BatchCertifier, batch_task_specs
+from repro.runtime.checkpoint import BatchLedger
+from repro.runtime.supervisor import RetryPolicy, Supervisor
+
+QUERIES = ["q_hto", "q_hto2"]
+SCALE = 0.3
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}")
+    sys.exit(1)
+
+
+def make_supervisor(max_attempts: int = 2) -> Supervisor:
+    return Supervisor(
+        certifier=BatchCertifier(),
+        max_workers=2,
+        hard_timeout=120.0,
+        retry=RetryPolicy(max_attempts=max_attempts, base_delay=0.05, jitter=0.0),
+    )
+
+
+def comparable(result):
+    """The semantic part of a task result (drop timings/work counters)."""
+    return {
+        "query": result["query"],
+        "mode": result["mode"],
+        "width": result["width"],
+        "decided": result["decided"],
+        "decomposition": result["decomposition"],
+    }
+
+
+def check_kill_and_resume(tmp: str) -> str:
+    specs = batch_task_specs(queries=QUERIES, scale=SCALE)
+
+    reference = make_supervisor().run(
+        specs, ledger=BatchLedger(os.path.join(tmp, "reference.jsonl"))
+    )
+    if [r.status for r in reference.results] != ["ok", "ok"]:
+        fail(f"reference batch did not complete: {reference.describe()}")
+    print(f"reference batch: {len(reference.results)} certified results")
+
+    # Same batch, but one worker is SIGKILLed on every attempt.  Fault
+    # directives are non-semantic, so the fingerprints (and the ledger)
+    # match the healthy specs.
+    ledger_path = os.path.join(tmp, "batch.jsonl")
+    crashing = [dict(specs[0], faults={"*": {"kind": "sigkill"}}), specs[1]]
+    first = make_supervisor(max_attempts=1).run(
+        crashing, ledger=BatchLedger(ledger_path)
+    )
+    statuses = {r.task["query"]: r.status for r in first.results}
+    if statuses != {QUERIES[0]: "failed", QUERIES[1]: "ok"}:
+        fail(f"crashing batch had unexpected statuses: {statuses}")
+    kinds = [f["kind"] for f in first.results[0].failures]
+    if "crashed" not in kinds:
+        fail(f"SIGKILLed worker was not recorded as crashed: {kinds}")
+    if first.exit_code != 1:
+        fail(f"crashing batch exited {first.exit_code}, expected 1")
+    print(
+        f"crashing batch: {QUERIES[0]} failed after {first.results[0].attempts} "
+        f"SIGKILLed attempts, {QUERIES[1]} certified ok, checkpoint written"
+    )
+
+    # Resume with the fault gone: only the failed task re-runs.
+    resumed = make_supervisor().run(specs, ledger=BatchLedger(ledger_path))
+    if [r.status for r in resumed.results] != ["ok", "ok"]:
+        fail(f"resumed batch did not recover: {resumed.describe()}")
+    if [r.cached for r in resumed.results] != [False, True]:
+        fail("resume re-ran the wrong tasks: "
+             f"{[(r.task['query'], r.cached) for r in resumed.results]}")
+    got = [comparable(r.result) for r in resumed.results]
+    want = [comparable(r.result) for r in reference.results]
+    if got != want:
+        fail("resumed results differ from the uninterrupted reference")
+    print("resume: failed task re-run, cached task reused, "
+          "results identical to the uninterrupted reference")
+    return ledger_path
+
+
+def check_cli(tmp: str, ledger_path: str) -> None:
+    code = cli_main(
+        [
+            "batch",
+            "--queries",
+            *QUERIES,
+            "--scale",
+            str(SCALE),
+            "--ledger",
+            ledger_path,
+        ]
+    )
+    if code != 0:
+        fail(f"repro batch exited {code} on a completed ledger, expected 0")
+    if cli_main(["batch", "--queries", "nope"]) != 2:
+        fail("repro batch with an unknown query did not exit 2")
+    print("CLI: batch resume exits 0, unknown query exits 2")
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        ledger_path = check_kill_and_resume(tmp)
+        check_cli(tmp, ledger_path)
+    print("OK: batch runtime smoke passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -12,6 +12,7 @@ Usage (also available as ``python -m repro``)::
     python -m repro stats QUERY.hg
     python -m repro experiment q_hto3 --limit 5
     python -m repro table1
+    python -m repro batch --queries q_hto q_hto2 --timeout 30 --workers 2
     python -m repro workloads build --scale 10
     python -m repro workloads list --strict
     python -m repro workloads clean
@@ -24,6 +25,17 @@ and maps it to the exit code: 0 for ``complete``, 124 for ``deadline``
 ``interrupted`` (Ctrl-C).  Results printed by a non-complete run are
 anytime results: valid as far as they go, not necessarily the full
 answer.
+
+``batch`` runs a set of benchmark queries under the supervised batch
+runtime (worker processes, hard timeouts, retries with a degradation
+ladder, independent result certification) with a durable checkpoint
+ledger: re-running the same batch resumes, skipping certified completed
+tasks.  Exit codes: 0 all ok, 1 some task failed, 130 interrupted.
+
+Expected user-level failures (missing files, unknown names, a corrupt
+ledger) are reported as a one-line ``error: ...`` with exit code 2 via
+the :class:`repro.runtime.errors.ReproError` taxonomy — tracebacks are
+reserved for actual bugs.
 """
 
 from __future__ import annotations
@@ -38,8 +50,13 @@ from repro.hypergraph.stats import hypergraph_statistics
 
 
 def _load_hypergraph(path: str):
-    with open(path, "r", encoding="utf-8") as handle:
-        return parse_hyperbench(handle.read())
+    from repro.runtime.errors import UserError
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return parse_hyperbench(handle.read())
+    except OSError as exc:
+        raise UserError(f"cannot read hypergraph file {path!r}: {exc}") from exc
 
 
 # -- resource governance ---------------------------------------------------
@@ -248,6 +265,61 @@ def _cmd_table1(args, out) -> int:
     return 0
 
 
+# -- supervised batch runtime ----------------------------------------------
+
+
+def default_ledger_path(tasks) -> str:
+    """A deterministic per-batch ledger path under ``workloads/.batches``.
+
+    Derived from the task fingerprints, so the same batch invocation maps
+    to the same ledger file — which is what makes bare re-runs resume.
+    """
+    import hashlib
+
+    from repro.runtime.checkpoint import task_fingerprint
+
+    digest = hashlib.sha256(
+        ",".join(sorted(task_fingerprint(task) for task in tasks)).encode("utf-8")
+    ).hexdigest()[:12]
+    return os.path.join("workloads", ".batches", f"batch-{digest}.jsonl")
+
+
+def _cmd_batch(args, out) -> int:
+    from repro.experiments.harness import BatchCertifier, batch_task_specs
+    from repro.runtime.checkpoint import BatchLedger
+    from repro.runtime.errors import UserError
+    from repro.runtime.supervisor import RetryPolicy, Supervisor
+
+    try:
+        tasks = batch_task_specs(
+            queries=args.queries or None,
+            scale=args.scale,
+            seed=args.seed,
+            deadline=args.timeout,
+            max_work=args.max_work,
+        )
+    except KeyError as exc:
+        raise UserError(str(exc.args[0]) if exc.args else str(exc)) from exc
+    ledger = None
+    ledger_path = None
+    if not args.no_ledger:
+        ledger_path = args.ledger or default_ledger_path(tasks)
+        if args.fresh and os.path.exists(ledger_path):
+            os.unlink(ledger_path)
+        ledger = BatchLedger(ledger_path)
+    supervisor = Supervisor(
+        certifier=BatchCertifier(),
+        max_workers=args.workers,
+        hard_timeout=args.task_timeout,
+        retry=RetryPolicy(max_attempts=args.retries),
+    )
+    report = supervisor.run(tasks, ledger=ledger)
+    print(report.describe(), file=out)
+    if ledger_path is not None:
+        print(f"ledger: {ledger_path}", file=out)
+    return report.exit_code
+
+
 # -- workload snapshot management ------------------------------------------
 
 
@@ -406,6 +478,58 @@ def build_parser() -> argparse.ArgumentParser:
     table1.add_argument("--scale", type=float, default=0.5)
     table1.set_defaults(handler=_cmd_table1)
 
+    batch = subparsers.add_parser(
+        "batch",
+        help="run benchmark queries under the supervised batch runtime",
+    )
+    batch.add_argument(
+        "--queries",
+        nargs="*",
+        default=None,
+        metavar="QUERY",
+        help="benchmark query names (default: all six)",
+    )
+    batch.add_argument("--scale", type=float, default=0.5)
+    batch.add_argument(
+        "--seed", type=int, default=None, help="workload seed (default: per-workload)"
+    )
+    _budget_arguments(batch)
+    batch.add_argument(
+        "--task-timeout",
+        type=float,
+        default=300.0,
+        dest="task_timeout",
+        metavar="SECONDS",
+        help="hard wall-clock allowance per attempt; overrunning workers are killed",
+    )
+    batch.add_argument(
+        "--workers", type=int, default=1, help="concurrent worker processes"
+    )
+    batch.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="attempts per degradation level before descending",
+    )
+    batch.add_argument(
+        "--ledger",
+        default=None,
+        metavar="PATH",
+        help="checkpoint ledger path (default: derived, under workloads/.batches)",
+    )
+    batch.add_argument(
+        "--no-ledger",
+        action="store_true",
+        dest="no_ledger",
+        help="run without a checkpoint ledger (no resume)",
+    )
+    batch.add_argument(
+        "--fresh",
+        action="store_true",
+        help="delete an existing ledger instead of resuming from it",
+    )
+    batch.set_defaults(handler=_cmd_batch)
+
     workloads = subparsers.add_parser(
         "workloads", help="manage workload snapshot caches"
     )
@@ -454,8 +578,20 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
+    from repro.runtime.errors import ReproError
+
     try:
         return args.handler(args, out)
+    except ReproError as exc:
+        # The expected-failure taxonomy: one structured line, typed exit
+        # code, no traceback.
+        print(f"error: {exc}", file=out)
+        return exc.exit_code
+    except FileNotFoundError as exc:
+        # A missing input file at the CLI boundary is a user error even
+        # when it surfaces from deep inside a loader.
+        print(f"error: file not found: {exc.filename or exc}", file=out)
+        return 2
     except KeyboardInterrupt:
         from repro.runtime.budget import EXIT_CODES, STATUS_INTERRUPTED
 

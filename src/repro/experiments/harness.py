@@ -240,3 +240,191 @@ class QueryExperiment:
             "top10_seconds": elapsed,
             "num_decompositions": len(concov_decompositions),
         }
+
+
+# -- batch runtime integration -----------------------------------------------
+#
+# The supervised batch runtime (repro.runtime.supervisor) is deliberately
+# agnostic about what a task computes; these three pieces bind it to the
+# paper's pipeline:
+#
+# * batch_task_specs  — a workload's query set as plain task dicts,
+# * execute_batch_task — the worker-side runner (resolved by dotted path
+#   inside the spawned process),
+# * BatchCertifier    — the parent-side certifier that rebuilds every
+#   query hypergraph *itself* and never trusts worker-supplied structure.
+
+
+def batch_task_specs(
+    queries: Optional[Sequence[str]] = None,
+    scale: float = 1.0,
+    seed: Optional[int] = None,
+    deadline: Optional[float] = None,
+    max_work: Optional[int] = None,
+) -> List[Dict[str, object]]:
+    """One task spec per benchmark query (all six when ``queries`` is None).
+
+    A spec is a plain JSON-able dict — exactly what the supervisor
+    fingerprints for the checkpoint ledger and ships to the worker.
+    ``deadline``/``max_work`` are the *full-solve* caps; the degradation
+    ladder scales them down for the tighter levels.
+    """
+    from repro.workloads.registry import benchmark_queries, benchmark_query
+
+    if queries is None:
+        entries = benchmark_queries()
+    else:
+        entries = [benchmark_query(name) for name in queries]
+    return [
+        {
+            "kind": "solve",
+            "query": entry.name,
+            "workload": entry.dataset,
+            "width": entry.width,
+            "scale": scale,
+            "seed": seed,
+            "deadline": deadline,
+            "max_work": max_work,
+            "label": entry.name,
+        }
+        for entry in entries
+    ]
+
+
+def execute_batch_task(payload: Dict[str, object]) -> Dict[str, object]:
+    """The worker-side runner of one supervised batch task.
+
+    ``payload`` is a task spec plus the supervisor's per-attempt fields:
+    ``mode`` (``ranked`` — the ConCov + cost-ranked solve the figures use —
+    or ``decide`` — the plain Algorithm 1 existence path of the degradation
+    ladder) and the level-scaled ``deadline``/``max_work`` caps, which
+    become the in-worker :class:`Budget` (the cooperative layer under the
+    parent's SIGKILL backstop).
+
+    Returns a JSON-able result dict: the decomposition in wire format (to
+    be re-certified by the parent), the claimed width, and the governed
+    :class:`SolveOutcome` counters.  An exhausted budget with no anytime
+    decomposition is reported as ``{"ok": False, "reason": <status>}`` so
+    the supervisor can degrade instead of trusting an inconclusive answer.
+    """
+    from repro.core.candidate_bags import soft_candidate_bags
+    from repro.core.certify import decomposition_to_payload
+    from repro.core.ctd import candidate_td
+    from repro.core.enumerate import enumerate_ctds
+    from repro.db.cost import make_cost_preference
+    from repro.workloads.registry import benchmark_query
+
+    entry = benchmark_query(str(payload["query"]))
+    width = int(payload.get("width") or entry.width)
+    scale = float(payload.get("scale") or 1.0)
+    seed = payload.get("seed")
+    mode = str(payload.get("mode", "ranked"))
+    budget = None
+    if payload.get("deadline") is not None or payload.get("max_work") is not None:
+        budget = Budget(
+            deadline=payload.get("deadline"), max_work=payload.get("max_work")
+        )
+    database, query = entry.load(scale=scale, seed=seed)
+    hypergraph = query.hypergraph()
+    bags = soft_candidate_bags(hypergraph, width, budget=budget)
+    if mode == "decide":
+        decomposition = candidate_td(hypergraph, bags, budget=budget)
+    else:
+        constraint = ConnectedCoverConstraint(hypergraph, width)
+        preference = make_cost_preference(
+            "cardinalities", query, database, CardinalityEstimator(database)
+        )
+        found = enumerate_ctds(
+            hypergraph,
+            bags,
+            constraint=constraint,
+            preference=preference,
+            limit=1,
+            budget=budget,
+        )
+        decomposition = found[0] if found else None
+    from repro.runtime.budget import completed_outcome
+
+    outcome = budget.outcome() if budget is not None else completed_outcome()
+    if decomposition is None and outcome.partial:
+        return {
+            "ok": False,
+            "reason": outcome.status,
+            "error": "budget exhausted before any decomposition was found "
+            f"({outcome.describe()})",
+        }
+    return {
+        "ok": True,
+        "query": entry.name,
+        "mode": mode,
+        "level": payload.get("level"),
+        "width": width,
+        "decided": decomposition is not None,
+        "decomposition": (
+            decomposition_to_payload(decomposition)
+            if decomposition is not None
+            else None
+        ),
+        "outcome": {
+            "status": outcome.status,
+            "work": outcome.work,
+            "elapsed": round(outcome.elapsed, 6),
+        },
+    }
+
+
+class BatchCertifier:
+    """Parent-side certification of supervised batch results.
+
+    The certifier rebuilds each query hypergraph from the deterministic
+    workload generator (cached per ``(query, scale, seed)``) — the trusted
+    reference a worker's claims are checked against.  A result's
+    decomposition payload is reconstructed with
+    :func:`repro.core.certify.decomposition_from_payload` (malformed →
+    rejected, not crashed) and then certified with the ConCov constraint
+    (``ranked`` mode only — ``decide`` results never claimed it) and the
+    task's width claim.
+    """
+
+    def __init__(self, cache="auto"):
+        self.cache = cache
+        self._hypergraphs: Dict[Tuple[str, float, object], Tuple[object, int]] = {}
+
+    def _trusted_hypergraph(self, name: str, scale: float, seed):
+        key = (name, scale, seed)
+        if key not in self._hypergraphs:
+            from repro.workloads.registry import benchmark_query
+
+            entry = benchmark_query(name)
+            _, query = entry.load(scale=scale, seed=seed, cache=self.cache)
+            self._hypergraphs[key] = (query.hypergraph(), entry.width)
+        return self._hypergraphs[key]
+
+    def __call__(self, task: Dict[str, object], result: Dict[str, object]):
+        from repro.core.certify import (
+            Certification,
+            certify_ctd,
+            decomposition_from_payload,
+        )
+
+        hypergraph, default_width = self._trusted_hypergraph(
+            str(task["query"]), float(task.get("scale") or 1.0), task.get("seed")
+        )
+        width = int(task.get("width") or default_width)
+        payload = result.get("decomposition") if isinstance(result, dict) else None
+        if payload is None:
+            # "No decomposition of width <= k" cannot be certified in
+            # O(result) time; accept it only from a *complete* search —
+            # a partial one must have reported {"ok": False} instead.
+            outcome = result.get("outcome") or {}
+            if result.get("decided") is False and outcome.get("status") == "complete":
+                return Certification(True)
+            return Certification(False, ("result carries no decomposition",))
+        try:
+            ctd = decomposition_from_payload(hypergraph, payload)
+        except ValueError as exc:
+            return Certification(False, (f"malformed decomposition payload: {exc}",))
+        constraint = None
+        if result.get("mode", "ranked") == "ranked":
+            constraint = ConnectedCoverConstraint(hypergraph, width)
+        return certify_ctd(hypergraph, ctd, constraint=constraint, width_claim=width)

@@ -13,7 +13,8 @@ Three injection mechanisms, all deterministic and process-local:
   installs a plan with :func:`inject` and schedules which call to a site
   should raise which exception (``plan.fail("snapshot.write",
   exc=OSError(errno.ENOSPC, ...))``).  The snapshot layer exposes
-  ``snapshot.read`` and ``snapshot.write``.
+  ``snapshot.read``, ``snapshot.write`` and ``snapshot.lock``; the batch
+  ledger exposes ``ledger.append`` and ``ledger.read``.
 * Scripted budget exhaustion needs no machinery of its own:
   ``Budget(max_work=N)`` exhausts *exactly* at the Nth tick, and
   ``Budget(deadline=d, clock=FakeClock(auto_advance=...), check_interval=c)``

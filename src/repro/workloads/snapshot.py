@@ -34,6 +34,7 @@ import json
 import logging
 import os
 import tempfile
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -315,6 +316,102 @@ def rewrite_snapshot_version(path: str, version: int) -> None:
         np.savez(handle, **arrays)
 
 
+# -- build lock ------------------------------------------------------------
+
+#: Suffix of the advisory lockfile guarding one snapshot build.
+LOCK_SUFFIX = ".lock"
+
+#: A lock older than this whose holder cannot be confirmed alive is
+#: considered abandoned (holder was SIGKILLed before its ``finally``) and
+#: taken over.
+LOCK_STALE_SECONDS = 300.0
+
+#: How long a would-be builder waits for the current holder before giving
+#: up and building anyway (the atomic snapshot write keeps that correct —
+#: the lock only exists to avoid redundant work).
+LOCK_WAIT_SECONDS = 60.0
+
+#: Poll interval while waiting on a held lock.
+LOCK_POLL_INTERVAL = 0.05
+
+
+def _lock_is_stale(lock_path: str, stale_after: float) -> bool:
+    """Whether the lockfile was abandoned by a dead or wedged holder.
+
+    A lock is stale when its recorded pid no longer exists, or — for locks
+    whose pid cannot be checked (unreadable file, recycled pid namespace) —
+    when the file is older than ``stale_after`` seconds.
+    """
+    try:
+        age = time.time() - os.stat(lock_path).st_mtime
+    except OSError:
+        return False  # vanished: not stale, just gone
+    try:
+        with open(lock_path, "r", encoding="utf-8") as handle:
+            pid = int(handle.read().strip() or "0")
+    except (OSError, ValueError):
+        pid = 0
+    if pid:
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return True  # the holder died without releasing
+        except OSError:
+            pass  # exists but unsignalable (EPERM): treat as alive
+        else:
+            return age > stale_after  # alive-looking pid: only age decides
+    return age > stale_after
+
+
+def acquire_build_lock(
+    path: str,
+    timeout: float = LOCK_WAIT_SECONDS,
+    poll_interval: float = LOCK_POLL_INTERVAL,
+    stale_after: float = LOCK_STALE_SECONDS,
+) -> bool:
+    """Try to take the advisory build lock for snapshot ``path``.
+
+    The lock is an ``O_CREAT|O_EXCL`` lockfile (``<path>.lock``) holding
+    the owner's pid.  Returns ``True`` when acquired; ``False`` when the
+    wait timed out — the caller then builds anyway, relying on the atomic
+    snapshot write as the correctness backstop (the lock only prevents
+    *redundant* concurrent builds, it is not load-bearing).  Stale locks
+    (dead holder pid, or older than ``stale_after``) are taken over.
+    """
+    maybe_fail("snapshot.lock")
+    lock_path = path + LOCK_SUFFIX
+    os.makedirs(os.path.dirname(lock_path) or ".", exist_ok=True)
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            fd = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            if _lock_is_stale(lock_path, stale_after):
+                # Takeover: unlink and retry O_EXCL.  Two waiters racing the
+                # takeover can momentarily both think they won; the atomic
+                # write keeps even that case correct (last store wins whole).
+                try:
+                    os.unlink(lock_path)
+                except OSError:
+                    pass
+                continue
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(poll_interval)
+            continue
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(str(os.getpid()))
+        return True
+
+
+def release_build_lock(path: str) -> None:
+    """Release the advisory build lock for snapshot ``path`` (idempotent)."""
+    try:
+        os.unlink(path + LOCK_SUFFIX)
+    except OSError:
+        pass
+
+
 # -- the cache -------------------------------------------------------------
 
 
@@ -362,6 +459,18 @@ class SnapshotCache:
             schema_hash,
         )
 
+    def _try_load(
+        self, workload: str, scale: float, seed: Optional[int], schema_hash: str
+    ) -> Optional[Database]:
+        """Like :meth:`load`, but unusable snapshots become quarantined misses."""
+        try:
+            return self.load(workload, scale, seed, schema_hash)
+        except StaleSnapshotError as exc:
+            self.quarantine(
+                self.path_for(workload, scale, seed, schema_hash), str(exc)
+            )
+            return None
+
     def load_or_build(
         self,
         workload: str,
@@ -375,19 +484,39 @@ class SnapshotCache:
         Stale-version and corrupt snapshots count as misses: the offending
         file is quarantined (renamed to ``*.corrupt`` with the reason
         logged) and the fresh build writes a clean replacement.
+
+        Concurrent misses (parallel batch workers cold-starting the same
+        workload) are serialised through an advisory build lock
+        (:func:`acquire_build_lock`): one process builds while the others
+        wait, then load its snapshot.  The lock is best-effort only — an
+        unavailable or timed-out lock means building redundantly under the
+        protection of the atomic snapshot write, never failing the load.
         """
-        try:
-            cached = self.load(workload, scale, seed, schema_hash)
-        except StaleSnapshotError as exc:
-            self.quarantine(
-                self.path_for(workload, scale, seed, schema_hash), str(exc)
-            )
-            cached = None
+        cached = self._try_load(workload, scale, seed, schema_hash)
         if cached is not None:
             return cached, True
-        database = builder()
-        self.store(workload, scale, seed, schema_hash, database)
-        return database, False
+        path = self.path_for(workload, scale, seed, schema_hash)
+        acquired = False
+        try:
+            try:
+                acquired = acquire_build_lock(path)
+            except Exception as exc:
+                logger.warning(
+                    "snapshot build lock for %s unavailable (%s); building unlocked",
+                    path,
+                    exc,
+                )
+            if acquired:
+                # Whoever held the lock may have built it while we waited.
+                cached = self._try_load(workload, scale, seed, schema_hash)
+                if cached is not None:
+                    return cached, True
+            database = builder()
+            self.store(workload, scale, seed, schema_hash, database)
+            return database, False
+        finally:
+            if acquired:
+                release_build_lock(path)
 
     def quarantine(self, path: str, reason: str) -> Optional[str]:
         """Move an unusable snapshot aside as ``<path>.corrupt``.

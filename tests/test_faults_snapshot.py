@@ -21,12 +21,15 @@ import pytest
 from repro.db.database import Database
 from repro.runtime.faults import flip_byte, inject, truncate_file
 from repro.workloads.snapshot import (
+    LOCK_SUFFIX,
     QUARANTINE_SUFFIX,
     SNAPSHOT_VERSION,
     SnapshotCache,
     StaleSnapshotError,
+    acquire_build_lock,
     load_snapshot,
     read_snapshot_meta,
+    release_build_lock,
     save_snapshot,
 )
 
@@ -246,6 +249,85 @@ class TestQuarantine:
     def test_quarantine_missing_file_is_a_noop(self, tmp_path):
         cache = SnapshotCache(str(tmp_path / "cache"))
         assert cache.quarantine(str(tmp_path / "cache" / "ghost.npz"), "gone") is None
+
+
+class TestBuildLock:
+    def _key(self):
+        return ("wl", 1.0, 7, "abc123def456")
+
+    def test_cold_build_takes_and_releases_the_lock(self, tmp_path):
+        cache = SnapshotCache(str(tmp_path / "cache"))
+        path = cache.path_for(*self._key())
+        seen = {}
+
+        def builder():
+            seen["locked"] = os.path.exists(path + LOCK_SUFFIX)
+            return small_database()
+
+        _, hit = cache.load_or_build(*self._key(), builder)
+        assert not hit
+        assert seen["locked"]  # held during the build...
+        assert not os.path.exists(path + LOCK_SUFFIX)  # ...released after
+
+    def test_stale_lock_of_a_dead_holder_is_taken_over(self, tmp_path):
+        path = str(tmp_path / "snap.npz")
+        # A pid that cannot exist: max_pid is bounded well below 2**30.
+        with open(path + LOCK_SUFFIX, "w", encoding="utf-8") as handle:
+            handle.write(str(2**30))
+        assert acquire_build_lock(path, timeout=1.0)
+        with open(path + LOCK_SUFFIX, "r", encoding="utf-8") as handle:
+            assert int(handle.read()) == os.getpid()
+        release_build_lock(path)
+        assert not os.path.exists(path + LOCK_SUFFIX)
+
+    def test_live_lock_times_out_instead_of_stealing(self, tmp_path):
+        path = str(tmp_path / "snap.npz")
+        assert acquire_build_lock(path)  # held by this (alive) process
+        try:
+            assert not acquire_build_lock(path, timeout=0.2)
+            with open(path + LOCK_SUFFIX, "r", encoding="utf-8") as handle:
+                assert int(handle.read()) == os.getpid()  # untouched
+        finally:
+            release_build_lock(path)
+
+    def test_lock_fault_falls_back_to_an_unlocked_build(self, tmp_path):
+        # The lock is best-effort: if taking it fails, load_or_build must
+        # still build correctly under the atomic-write backstop.
+        cache = SnapshotCache(str(tmp_path / "cache"))
+        with inject() as plan:
+            plan.fail("snapshot.lock", exc=OSError(errno.EACCES, "denied"))
+            database, hit = cache.load_or_build(*self._key(), small_database)
+            assert plan.remaining() == {}
+        assert not hit
+        assert database_rows(database) == database_rows(small_database())
+        assert not os.path.exists(cache.path_for(*self._key()) + LOCK_SUFFIX)
+        # The snapshot written without the lock is a normal hit afterwards.
+        _, hit = cache.load_or_build(*self._key(), small_database)
+        assert hit
+
+    def test_waiter_loads_the_holders_build_instead_of_rebuilding(self, tmp_path):
+        cache = SnapshotCache(str(tmp_path / "cache"))
+        path = cache.path_for(*self._key())
+        # Simulate "another process built while we waited": the lock exists
+        # and is stale (dead pid), and the snapshot appears before our
+        # build would run.  After takeover, load_or_build re-checks the
+        # cache and must return a hit without calling the builder.
+        cache.store(*self._key(), small_database())
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+
+        def explode():
+            raise AssertionError("builder must not run: snapshot exists")
+
+        database, hit = cache.load_or_build(*self._key(), explode)
+        assert hit
+        assert database_rows(database) == database_rows(small_database())
+
+    def test_release_is_idempotent(self, tmp_path):
+        path = str(tmp_path / "snap.npz")
+        release_build_lock(path)  # nothing to release: no error
+        assert acquire_build_lock(path)
+        release_build_lock(path)
+        release_build_lock(path)
 
 
 class TestConcurrentBuilds:
