@@ -1,0 +1,159 @@
+"""End-to-end smoke test of the decomposition cache (used by CI).
+
+The trust-model proof, against real solver runs:
+
+1. a cold solve through the front door stores its certified CTDs,
+2. an *isomorphic relabeling* of the same query hits the cache and the
+   served CTD certifies against the relabeled hypergraph,
+3. a bit-flipped entry (unreadable JSON) is quarantined on read and the
+   query re-solves to the same answer,
+4. a *parseable* poisoned entry (valid JSON, wrong bags) fails
+   re-certification, is quarantined, and the query re-solves correctly —
+   the cache can cost time, never correctness,
+5. the ``repro cache list`` / ``repro cache clean`` verbs report and
+   remove what the run left behind.
+"""
+
+import io
+import os
+import sys
+import json
+import tempfile
+
+from repro.cli import main as cli_main
+from repro.core.cache import DecompositionCache
+from repro.core.solve import SolveRequest, execute
+from repro.hypergraph.generators import random_cyclic_query_hypergraph
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.runtime.faults import flip_byte
+
+WIDTH = 3
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}")
+    sys.exit(1)
+
+
+def request(hypergraph: Hypergraph) -> SolveRequest:
+    return SolveRequest(
+        hypergraph=hypergraph,
+        mode="enumerate",
+        width=WIDTH,
+        constraint="concov",
+        preference="nodecount",
+        limit=3,
+    )
+
+
+def relabeled(hypergraph: Hypergraph) -> Hypergraph:
+    rename = {
+        vertex: f"x{i}"
+        for i, vertex in enumerate(sorted(hypergraph.vertices, key=str))
+    }
+    return Hypergraph(
+        {
+            f"re_{edge.name}": sorted(rename[v] for v in edge.vertices)
+            for edge in hypergraph.edges
+        }
+    )
+
+
+def bag_shape(result):
+    """Label-free shape of the top decomposition (sorted bag sizes)."""
+    return sorted(len(bag) for bag in result.decomposition.bags())
+
+
+def the_entry(store: DecompositionCache) -> str:
+    entries = store.entries()
+    if len(entries) != 1:
+        fail(f"expected exactly one cache entry, found {len(entries)}")
+    return entries[0].path
+
+
+def check_cold_store_and_isomorphic_hit(store, hypergraph):
+    cold = execute(request(hypergraph), cache=store)
+    if not cold.decided or cold.cache_status != "stored":
+        fail(f"cold solve did not store: {cold.decided} {cold.cache_status}")
+    print(f"cold solve: width {cold.width}, stored in {cold.elapsed:.3f} s")
+
+    hit = execute(request(relabeled(hypergraph)), cache=store)
+    if hit.cache_status != "hit":
+        fail(f"isomorphic relabeling missed the cache: {hit.cache_status}")
+    if bag_shape(hit) != bag_shape(cold):
+        fail(f"hit shape {bag_shape(hit)} != solved shape {bag_shape(cold)}")
+    if not all(bag <= hit.request.hypergraph.vertices for bag in hit.decomposition.bags()):
+        fail("served bags are not over the relabeled hypergraph's vertices")
+    print(f"isomorphic hit: served + re-certified in {hit.elapsed:.4f} s")
+    return cold
+
+
+def check_bitflip_quarantine(store, hypergraph, reference):
+    path = the_entry(store)
+    flip_byte(path, 1)  # break the JSON container itself
+    result = execute(request(hypergraph), cache=store)
+    if not result.decided or result.cache_status != "stored":
+        fail(f"bit-flipped entry did not re-solve+store: {result.cache_status}")
+    if bag_shape(result) != bag_shape(reference):
+        fail("re-solve after bit flip changed the answer")
+    if store.stats.quarantined != 1 or not store.quarantined():
+        fail(f"bit-flipped entry was not quarantined: {store.stats.as_dict()}")
+    print("bit-flipped entry: quarantined on read, re-solved to the same answer")
+
+
+def check_parseable_poison(store, hypergraph, reference):
+    path = the_entry(store)
+    with open(path, "r", encoding="utf-8") as handle:
+        record = json.load(handle)
+    # Valid JSON, valid envelope, nonsense decomposition: only
+    # re-certification can catch this one.
+    record["decompositions"] = [{"bags": [[0]], "parents": [None]}]
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle)
+    result = execute(request(hypergraph), cache=store)
+    if not result.decided or result.cache_status != "stored":
+        fail(f"poisoned entry did not re-solve+store: {result.cache_status}")
+    if bag_shape(result) != bag_shape(reference):
+        fail("re-solve after poisoning changed the answer")
+    if store.stats.rejected != 1:
+        fail(f"poisoned entry was not rejected by certification: {store.stats.as_dict()}")
+    if store.stats.quarantined != 2 or not store.quarantined():
+        fail(f"poisoned entry was not quarantined: {store.stats.as_dict()}")
+    print("poisoned entry: failed re-certification, quarantined, re-solved")
+
+    healthy = execute(request(hypergraph), cache=store)
+    if healthy.cache_status != "hit":
+        fail(f"re-stored entry does not serve: {healthy.cache_status}")
+    print("re-stored entry serves hits again")
+
+
+def check_cli_verbs(store):
+    out = io.StringIO()
+    code = cli_main(["cache", "list", "--cache", store.directory], out=out)
+    listing = out.getvalue()
+    if code != 0 or "quarantined" not in listing:
+        fail(f"cache list exited {code}:\n{listing}")
+    print("cache list: " + listing.strip().splitlines()[-1])
+
+    out = io.StringIO()
+    code = cli_main(["cache", "clean", "--cache", store.directory], out=out)
+    if code != 0 or "removed 2" not in out.getvalue():
+        fail(f"cache clean exited {code}: {out.getvalue().strip()}")
+    if os.listdir(store.directory):
+        fail(f"cache clean left files: {os.listdir(store.directory)}")
+    print("cache clean: " + out.getvalue().strip())
+
+
+def main() -> None:
+    hypergraph = random_cyclic_query_hypergraph(6, 2, seed=0)
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-cache-") as tmp:
+        store = DecompositionCache(os.path.join(tmp, "ctd-cache"))
+        reference = check_cold_store_and_isomorphic_hit(store, hypergraph)
+        check_bitflip_quarantine(store, hypergraph, reference)
+        check_parseable_poison(store, hypergraph, reference)
+        check_cli_verbs(store)
+    print("OK: decomposition cache smoke test passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -18,6 +18,11 @@ import os
 import sys
 import tempfile
 
+# The governance layer is under test, not the decomposition cache: a warm
+# cache would serve the "exhausting" CLI solves instantly (complete,
+# exit 0) and mask the budget path this smoke exists to prove.
+os.environ.setdefault("REPRO_CTD_CACHE_OFF", "1")
+
 from repro.cli import main as cli_main
 from repro.core.candidate_bags import soft_candidate_bags
 from repro.core.enumerate import CTDEnumerator, enumerate_ctds

@@ -16,6 +16,17 @@ Usage (also available as ``python -m repro``)::
     python -m repro workloads build --scale 10
     python -m repro workloads list --strict
     python -m repro workloads clean
+    python -m repro cache list
+    python -m repro cache clean
+
+Every solving verb builds one canonical :class:`repro.core.solve.SolveRequest`
+and routes it through :func:`repro.core.solve.execute` — the same front
+door the experiment harness and the supervised batch runtime use.  Solved
+decompositions are persisted in an on-disk cache keyed by the hypergraph's
+canonical (isomorphism-invariant) fingerprint, so repeated shapes across
+runs are served from disk (after re-certification) instead of re-solved;
+``repro cache list``/``clean`` inspect and reset that cache, and
+``REPRO_CTD_CACHE``/``REPRO_CTD_CACHE_OFF`` relocate or disable it.
 
 Resource governance: the solving verbs (``width``, ``decompose``,
 ``enumerate``, ``experiment``) accept ``--timeout SECONDS`` and
@@ -117,19 +128,25 @@ def _print_decomposition(decomposition, out) -> None:
 def _cmd_width(args, out) -> int:
     hypergraph = _load_hypergraph(args.hypergraph)
     if args.measure == "shw":
-        from repro.core.soft import soft_hypertree_width
+        from repro.core.solve import SolveRequest, execute
 
         budget = _make_budget(args)
-        try:
-            width, _ = soft_hypertree_width(
-                hypergraph, max_k=args.max_k, iterations=args.iterations, budget=budget
-            )
-        except ValueError:
+        result = execute(
+            SolveRequest(
+                hypergraph=hypergraph,
+                mode="soft-width",
+                width=args.max_k,
+                iterations=args.iterations,
+            ),
+            budget=budget,
+        )
+        if not result.decided:
             if budget is not None and budget.exhausted:
                 print("width undetermined: run stopped early", file=out)
                 return _finish(budget, out)
-            raise
-        print(f"{args.measure} = {width}", file=out)
+            print(f"no soft decomposition of width <= {args.max_k}", file=out)
+            return 1
+        print(f"{args.measure} = {result.width}", file=out)
         return _finish(budget, out)
     if args.measure == "hw":
         from repro.baselines.detkdecomp import hypertree_width
@@ -155,22 +172,21 @@ def _cmd_width(args, out) -> int:
 
 def _cmd_decompose(args, out) -> int:
     hypergraph = _load_hypergraph(args.hypergraph)
-    from repro.core.candidate_bags import soft_candidate_bags
-    from repro.core.constrained import constrained_candidate_td
-    from repro.core.constraints import ConnectedCoverConstraint
-    from repro.core.ctd import candidate_td
+    from repro.core.solve import SolveRequest, execute
 
     budget = _make_budget(args)
-    bags = soft_candidate_bags(hypergraph, args.width, budget=budget)
-    if args.concov:
-        constraint = ConnectedCoverConstraint(hypergraph, args.width)
-        decomposition = constrained_candidate_td(
-            hypergraph, bags, constraint=constraint, budget=budget
-        )
-    else:
-        # Unconstrained: Algorithm 1's incremental fixpoint, like soft.shw_leq.
-        decomposition = candidate_td(hypergraph, bags, budget=budget)
-    if decomposition is None:
+    # Unconstrained: Algorithm 1's incremental fixpoint (mode "decide");
+    # --concov routes through the constrained solver (mode "optimal").
+    result = execute(
+        SolveRequest(
+            hypergraph=hypergraph,
+            mode="optimal" if args.concov else "decide",
+            width=args.width,
+            constraint="concov" if args.concov else None,
+        ),
+        budget=budget,
+    )
+    if result.decomposition is None:
         label = "ConCov-shw" if args.concov else "shw"
         qualifier = (
             "run stopped early, result inconclusive: "
@@ -179,36 +195,33 @@ def _cmd_decompose(args, out) -> int:
         )
         print(f"{qualifier}{label} width <= {args.width}", file=out)
         return _finish(budget, out, ok=1)
-    _print_decomposition(decomposition, out)
+    _print_decomposition(result.decomposition, out)
     return _finish(budget, out)
 
 
 def _cmd_enumerate(args, out) -> int:
     hypergraph = _load_hypergraph(args.hypergraph)
-    from repro.core.candidate_bags import soft_candidate_bags
-    from repro.core.constraints import ConnectedCoverConstraint
-    from repro.core.enumerate import CTDEnumerator
-    from repro.core.preferences import NodeCountPreference
+    from repro.core.solve import SolveRequest, execute
 
     budget = _make_budget(args)
-    bags = soft_candidate_bags(hypergraph, args.width, budget=budget)
-    constraint = (
-        ConnectedCoverConstraint(hypergraph, args.width) if args.concov else None
-    )
-    enumerator = CTDEnumerator(
-        hypergraph,
-        bags,
-        constraint=constraint,
-        preference=NodeCountPreference(),
+    if args.limit < 1:
+        print(f"no decomposition of width <= {args.width}", file=out)
+        return _finish(budget, out, ok=1)
+    result = execute(
+        SolveRequest(
+            hypergraph=hypergraph,
+            mode="enumerate",
+            width=args.width,
+            constraint="concov" if args.concov else None,
+            preference="nodecount",
+            limit=args.limit,
+        ),
         budget=budget,
     )
     count = 0
-    for decomposition in enumerator.iter_decompositions():
-        count += 1
+    for count, decomposition in enumerate(result.decompositions, start=1):
         print(f"# decomposition {count}", file=out)
         _print_decomposition(decomposition, out)
-        if count >= args.limit:
-            break
     if count == 0:
         if budget is not None and budget.exhausted:
             print("run stopped early before the first decomposition", file=out)
@@ -285,7 +298,11 @@ def default_ledger_path(tasks) -> str:
 
 
 def _cmd_batch(args, out) -> int:
-    from repro.experiments.harness import BatchCertifier, batch_task_specs
+    from repro.experiments.harness import (
+        BatchCertifier,
+        BatchSolveCache,
+        batch_task_specs,
+    )
     from repro.runtime.checkpoint import BatchLedger
     from repro.runtime.errors import UserError
     from repro.runtime.supervisor import RetryPolicy, Supervisor
@@ -312,6 +329,9 @@ def _cmd_batch(args, out) -> int:
         max_workers=args.workers,
         hard_timeout=args.task_timeout,
         retry=RetryPolicy(max_attempts=args.retries),
+        # Pre-spawn probe into the persistent decomposition cache: a
+        # certified hit satisfies a task without a worker process.
+        cache_lookup=BatchSolveCache().lookup,
     )
     report = supervisor.run(tasks, ledger=ledger)
     print(report.describe(), file=out)
@@ -362,7 +382,8 @@ def _cmd_workloads_list(args, out) -> int:
 
     cache = _workload_cache(args)
     infos = cache.entries()
-    if not infos and not cache.quarantined():
+    stale_locks = cache.stale_locks()
+    if not infos and not cache.quarantined() and not stale_locks:
         print(f"no snapshots under {cache.directory}", file=out)
         return 0
     current_hashes = {
@@ -390,12 +411,15 @@ def _cmd_workloads_list(args, out) -> int:
     quarantined = cache.quarantined()
     for path in quarantined:
         print(f"quarantined: {os.path.basename(path)}", file=out)
+    for path in stale_locks:
+        print(f"stale lock: {os.path.basename(path)}", file=out)
     print(
         f"{len(infos)} snapshot(s), {stale_count} stale, "
-        f"{len(quarantined)} quarantined",
+        f"{len(quarantined)} quarantined"
+        + (f", {len(stale_locks)} stale lock(s)" if stale_locks else ""),
         file=out,
     )
-    if args.strict and (stale_count or quarantined):
+    if args.strict and (stale_count or quarantined or stale_locks):
         return 1
     return 0
 
@@ -408,8 +432,83 @@ def _snapshot_version() -> int:
 
 def _cmd_workloads_clean(args, out) -> int:
     cache = _workload_cache(args)
+    report = cache.clean()
+    print(
+        f"removed {report.total} file(s) from {cache.directory} "
+        f"({report.snapshots} snapshot(s), {report.quarantined} quarantined, "
+        f"{report.temp} temp, {report.locks} lock(s))",
+        file=out,
+    )
+    return 0
+
+
+# -- decomposition cache management ------------------------------------------
+
+
+def _ctd_cache(args):
+    from repro.core.cache import DecompositionCache
+
+    return DecompositionCache(args.cache or "")
+
+
+def _summarise_kind(kind: str) -> str:
+    """One compact human-readable token for a request-kind JSON string."""
+    import json
+
+    try:
+        spec = json.loads(kind)
+    except (TypeError, ValueError):
+        return "unreadable"
+    parts = [f"mode={spec.get('mode')}", f"k={spec.get('width')}"]
+    if spec.get("iterations"):
+        parts.append(f"i={spec['iterations']}")
+    if spec.get("constraint"):
+        parts.append(str(spec["constraint"]))
+    if spec.get("preference"):
+        parts.append(str(spec["preference"]))
+    if spec.get("limit", 1) != 1:
+        parts.append(f"limit={spec['limit']}")
+    if spec.get("data_key"):
+        parts.append(f"data={spec['data_key']}")
+    return " ".join(parts)
+
+
+def _cmd_cache_list(args, out) -> int:
+    cache = _ctd_cache(args)
+    infos = cache.entries()
+    quarantined = cache.quarantined()
+    if not infos and not quarantined:
+        print(f"no cache entries under {cache.directory}", file=out)
+        return 0
+    for info in infos:
+        if not info.readable:
+            print(
+                f"{os.path.basename(info.path)}  UNREADABLE "
+                f"({info.size_bytes} B)",
+                file=out,
+            )
+            continue
+        print(
+            f"{info.fingerprint[:16]}  {_summarise_kind(info.kind):<40} "
+            f"width={info.width} decompositions={info.decompositions} "
+            f"{info.size_bytes / 1024:.1f} KiB",
+            file=out,
+        )
+    for path in quarantined:
+        print(f"quarantined: {os.path.basename(path)}", file=out)
+    print(
+        f"{len(infos)} entr{'y' if len(infos) == 1 else 'ies'}, "
+        f"{len(quarantined)} quarantined, "
+        f"{cache.size_bytes() / 1024:.1f} KiB total",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_cache_clean(args, out) -> int:
+    cache = _ctd_cache(args)
     removed = cache.clean()
-    print(f"removed {removed} snapshot(s) from {cache.directory}", file=out)
+    print(f"removed {removed} cache file(s) from {cache.directory}", file=out)
     return 0
 
 
@@ -556,13 +655,35 @@ def build_parser() -> argparse.ArgumentParser:
     list_parser.add_argument(
         "--strict",
         action="store_true",
-        help="exit non-zero when stale snapshots are present",
+        help="exit non-zero when stale/quarantined snapshots or stale locks are present",
     )
     list_parser.set_defaults(handler=_cmd_workloads_list)
 
-    clean = workload_commands.add_parser("clean", help="delete cached snapshots")
+    clean = workload_commands.add_parser(
+        "clean",
+        help="delete cached snapshots, quarantined/temp leftovers and lock files",
+    )
     clean.add_argument("--cache", default=None)
     clean.set_defaults(handler=_cmd_workloads_clean)
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="manage the persistent decomposition cache"
+    )
+    cache_commands = cache_parser.add_subparsers(dest="cache_command", required=True)
+
+    cache_list = cache_commands.add_parser("list", help="list cached decompositions")
+    cache_list.add_argument(
+        "--cache", default=None, help="cache directory (default: $REPRO_CTD_CACHE)"
+    )
+    cache_list.set_defaults(handler=_cmd_cache_list)
+
+    cache_clean = cache_commands.add_parser(
+        "clean", help="delete cached decompositions and quarantined entries"
+    )
+    cache_clean.add_argument(
+        "--cache", default=None, help="cache directory (default: $REPRO_CTD_CACHE)"
+    )
+    cache_clean.set_defaults(handler=_cmd_cache_clean)
 
     return parser
 

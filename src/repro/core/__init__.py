@@ -10,6 +10,8 @@
 * exact lazy any-k (top-k) enumeration of candidate tree decompositions
   ranked by a preference, on the same shared solver core as Algorithms 1
   and 2,
+* the canonical solve front door (``SolveRequest`` → ``execute`` →
+  ``SolveResult``) and the persistent decomposition cache behind it,
 * the (Institutional) Robber and Marshals games of Appendix A.1.
 """
 
@@ -56,6 +58,8 @@ from repro.core.soft import (
     shw_i_leq,
     shw_leq,
 )
+from repro.core.solve import SolveRequest, SolveResult, execute, lookup
+from repro.core.cache import DecompositionCache, resolve_cache
 from repro.core.games import (
     irmg_width,
     marshals_width,
@@ -97,6 +101,12 @@ __all__ = [
     "constrained_candidate_td",
     "CTDEnumerator",
     "enumerate_ctds",
+    "SolveRequest",
+    "SolveResult",
+    "execute",
+    "lookup",
+    "DecompositionCache",
+    "resolve_cache",
     "soft_hypertree_width",
     "soft_decomposition",
     "soft_decomposition_to_ghd",

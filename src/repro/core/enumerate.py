@@ -5,9 +5,8 @@ they evaluate the top-10 cheapest CTDs per query, and compare random CTDs
 with and without the ConCov constraint.  This module enumerates CompNF CTDs
 over a candidate bag set in *exact* preference order: ``enumerate(limit=k)``
 returns the true ``k`` best distinct decompositions, however large the
-option space is.  The pre-PR-4 eager beam (``beam`` / per-basis combination
-caps that silently truncated options) is gone; both parameters survive as
-deprecated no-ops.
+option space is.  (The pre-PR-4 eager beam and its truncation knobs are
+gone entirely; ``enumerate_ctds`` has no approximation parameters.)
 
 The enumeration runs over the same block dynamic program as Algorithms 1
 and 2, via the shared :class:`repro.core.options.SolverCore`:
@@ -51,7 +50,7 @@ property-tested against is
 
 from __future__ import annotations
 
-import warnings
+
 from heapq import heappop, heappush
 from itertools import islice, product
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
@@ -75,18 +74,6 @@ __all__ = ["CTDEnumerator", "enumerate_ctds", "fragment_to_decomposition"]
 #: A ranked option: ``(key, tie, state, fragment)``.  ``tie`` is the
 #: canonical fragment sort key, so ``(key, tie)`` is a total order.
 _Entry = Tuple
-
-
-def _deprecated_parameter(name: str) -> None:
-    # stacklevel 3: _deprecated_parameter -> CTDEnumerator.__init__ /
-    # enumerate_ctds -> the deprecated call site.  Both public entry points
-    # call this directly so the warning is attributed to user code.
-    warnings.warn(
-        f"enumerate_ctds is exact; the {name!r} parameter no longer has any "
-        "effect and will be removed",
-        DeprecationWarning,
-        stacklevel=3,
-    )
 
 
 class _ProbeStream:
@@ -198,13 +185,7 @@ class _MergedStream:
 
 
 class CTDEnumerator:
-    """Enumerate CompNF CTDs over a candidate bag set, ranked by a preference.
-
-    ``beam`` and ``combinations_per_basis`` are deprecated no-ops: they
-    were the pre-PR-4 eager beam's truncation knobs, the enumeration is now
-    exact regardless, and passing any non-``None`` value only emits a
-    ``DeprecationWarning``.  They will be removed in a future PR.
-    """
+    """Enumerate CompNF CTDs over a candidate bag set, ranked by a preference."""
 
     def __init__(
         self,
@@ -212,14 +193,8 @@ class CTDEnumerator:
         candidate_bags: Iterable[Bag],
         constraint: Optional[SubtreeConstraint] = None,
         preference: Optional[Preference] = None,
-        beam: Optional[int] = None,
-        combinations_per_basis: Optional[int] = None,
         budget: Optional[Budget] = None,
     ):
-        if beam is not None:
-            _deprecated_parameter("beam")
-        if combinations_per_basis is not None:
-            _deprecated_parameter("combinations_per_basis")
         self.core = SolverCore(
             hypergraph, candidate_bags, constraint, preference, budget=budget
         )
@@ -374,27 +349,15 @@ def enumerate_ctds(
     constraint: Optional[SubtreeConstraint] = None,
     preference: Optional[Preference] = None,
     limit: int = 10,
-    beam: Optional[int] = None,
-    combinations_per_basis: Optional[int] = None,
     budget: Optional[Budget] = None,
 ) -> List[TreeDecomposition]:
     """The exact ``limit`` best CompNF CTDs ranked by ``preference``.
-
-    ``beam`` and ``combinations_per_basis`` are deprecated no-ops kept for
-    call-site compatibility: the enumeration is exact, so they no longer
-    influence the result.
 
     With a ``budget`` the call may return fewer than ``limit``
     decompositions: what it returns is always an exact prefix of the
     unbudgeted ranking, and ``budget.status`` / ``budget.outcome()`` say
     why it stopped.
     """
-    # Warn here (not in the constructor) so the warning is attributed to the
-    # caller of this function rather than to this module's frames.
-    if beam is not None:
-        _deprecated_parameter("beam")
-    if combinations_per_basis is not None:
-        _deprecated_parameter("combinations_per_basis")
     enumerator = CTDEnumerator(
         hypergraph,
         candidate_bags,

@@ -21,14 +21,13 @@ correlates with measured effort — matching how the paper presents Figures 5,
 from __future__ import annotations
 
 import random
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.decompositions.td import TreeDecomposition
 from repro.core.candidate_bags import filter_bags_by_cover, soft_candidate_bags
-from repro.core.constraints import ConnectedCoverConstraint, NoConstraint, SubtreeConstraint
-from repro.core.enumerate import enumerate_ctds
+from repro.core.constraints import ConnectedCoverConstraint
+from repro.core.solve import DATA_PREFERENCES, SolveRequest, execute
 from repro.db.cost import CardinalityCostModel, EstimateCostModel
 from repro.db.database import Database
 from repro.db.executor import BaselineExecutor, DecompositionExecutor, ExecutionMetrics
@@ -66,6 +65,7 @@ class QueryExperiment:
         width: int,
         name: Optional[str] = None,
         budget: Optional[Budget] = None,
+        data_key: Optional[str] = None,
     ):
         self.database = database
         self.query = query
@@ -75,6 +75,11 @@ class QueryExperiment:
         # generation, ranked enumeration and decomposition execution all
         # draw from it; exhausted stages degrade to their anytime results.
         self.budget = budget
+        # Names the database behind cost-ranked solves; without it those
+        # solves stay uncacheable (two databases rank the same CTDs
+        # differently).  ``from_benchmark`` derives one from the workload
+        # coordinates; ad-hoc databases have none.
+        self.data_key = data_key
         self.hypergraph = query.hypergraph()
         self.estimator = CardinalityEstimator(database)
         self._soft_bags = None
@@ -107,7 +112,19 @@ class QueryExperiment:
         database, query = entry.load(
             scale=scale, seed=seed, cache=cache, dump_path=dump_path
         )
-        return cls(database, query, entry.width, name=entry.name, budget=budget)
+        # Dump files are external data with no deterministic coordinates,
+        # so they get no data key (cost-ranked solves stay uncacheable).
+        data_key = None
+        if dump_path is None:
+            data_key = benchmark_data_key(entry, scale, seed)
+        return cls(
+            database,
+            query,
+            entry.width,
+            name=entry.name,
+            budget=budget,
+            data_key=data_key,
+        )
 
     # -- candidate bags -----------------------------------------------------------
 
@@ -132,6 +149,24 @@ class QueryExperiment:
 
     # -- decomposition enumeration ------------------------------------------------------
 
+    def _request(
+        self,
+        constrained: bool,
+        preference: Optional[str],
+        limit: int,
+    ) -> SolveRequest:
+        """The experiment's parameters as a canonical ``SolveRequest``."""
+        return SolveRequest(
+            hypergraph=self.hypergraph,
+            mode="enumerate",
+            width=self.width,
+            constraint="concov" if constrained else None,
+            preference=preference,
+            limit=limit,
+            data_key=self.data_key if preference in DATA_PREFERENCES else None,
+            label=self.name,
+        )
+
     def ranked_decompositions(
         self,
         cost: str = "cardinalities",
@@ -143,27 +178,21 @@ class QueryExperiment:
         ``cost`` is ``"cardinalities"`` (Appendix C.2.2), ``"estimates"``
         (Appendix C.2.1) or ``"none"`` (arbitrary order).  ``constrained``
         enforces ConCov, matching the paper's experiments.  The enumeration
-        is exact: these are the true ``limit`` cheapest CTDs, not the
-        survivors of a beam.
+        is exact — the true ``limit`` cheapest CTDs — and routed through
+        the solve front door (:func:`repro.core.solve.execute`), so
+        benchmark-backed experiments reuse the persistent decomposition
+        cache across runs.
         """
-        from repro.db.cost import make_cost_preference
-
-        constraint: SubtreeConstraint
-        constraint = self.concov_constraint() if constrained else NoConstraint()
-        preference = None
-        if cost != "none":
-            preference = make_cost_preference(cost, self.query, self.database, self.estimator)
-        start = time.perf_counter()
-        decompositions = enumerate_ctds(
-            self.hypergraph,
-            self.soft_bags,
-            constraint=constraint,
-            preference=preference,
-            limit=limit,
+        request = self._request(
+            constrained, None if cost == "none" else cost, limit
+        )
+        result = execute(
+            request,
+            database=self.database,
+            query=self.query,
             budget=self.budget,
         )
-        elapsed = time.perf_counter() - start
-        return decompositions, elapsed
+        return result.decompositions, result.elapsed
 
     def random_decompositions(
         self, count: int, constrained: bool, seed: int = 0
@@ -176,14 +205,13 @@ class QueryExperiment:
         deterministic structural tie-break), which makes the sample
         reproducible across processes for a fixed seed.
         """
-        constraint = self.concov_constraint() if constrained else NoConstraint()
-        pool = enumerate_ctds(
-            self.hypergraph,
-            self.soft_bags,
-            constraint=constraint,
-            preference=None,
-            limit=max(4 * count, 20),
-        )
+        request = self._request(constrained, None, max(4 * count, 20))
+        pool = execute(
+            request,
+            database=self.database,
+            query=self.query,
+            budget=self.budget,
+        ).decompositions
         if not pool:
             return []
         rng = random.Random(seed)
@@ -217,14 +245,20 @@ class QueryExperiment:
 
     def concov_shw(self, max_k: Optional[int] = None) -> int:
         """``ConCov-shw`` of the query hypergraph: least k with a ConCov CTD."""
-        from repro.core.soft import shw_leq
-
         limit = max_k if max_k is not None else max(self.width, self.hypergraph.num_edges())
-        for k in range(1, limit + 1):
-            constraint = ConnectedCoverConstraint(self.hypergraph, k)
-            if shw_leq(self.hypergraph, k, constraint=constraint) is not None:
-                return k
-        raise ValueError(f"ConCov-shw exceeds {limit}")
+        result = execute(
+            SolveRequest(
+                hypergraph=self.hypergraph,
+                mode="soft-width",
+                width=limit,
+                constraint="concov",
+                label=self.name,
+            ),
+            budget=self.budget,
+        )
+        if not result.decided:
+            raise ValueError(f"ConCov-shw exceeds {limit}")
+        return int(result.width)  # type: ignore[arg-type]
 
     def table1_row(self, top_n: int = 10) -> Dict[str, object]:
         """The row of Table 1 for this query."""
@@ -245,14 +279,29 @@ class QueryExperiment:
 # -- batch runtime integration -----------------------------------------------
 #
 # The supervised batch runtime (repro.runtime.supervisor) is deliberately
-# agnostic about what a task computes; these three pieces bind it to the
+# agnostic about what a task computes; these pieces bind it to the
 # paper's pipeline:
 #
-# * batch_task_specs  — a workload's query set as plain task dicts,
+# * batch_task_specs  — a workload's query set as plain task dicts, each
+#   embedding its canonical SolveRequest wire payload,
 # * execute_batch_task — the worker-side runner (resolved by dotted path
-#   inside the spawned process),
+#   inside the spawned process), a thin shell around core.solve.execute,
 # * BatchCertifier    — the parent-side certifier that rebuilds every
-#   query hypergraph *itself* and never trusts worker-supplied structure.
+#   query hypergraph *itself* and never trusts worker-supplied structure,
+# * BatchSolveCache   — the supervisor's pre-spawn cache probe against the
+#   persistent decomposition cache.
+
+
+def benchmark_data_key(entry, scale: float, seed: Optional[int]) -> str:
+    """The data identity behind a benchmark solve, for cache keying.
+
+    Cost-ranked solves depend on the generated rows, so the key pins the
+    full deterministic generator coordinates — workload, scale and the
+    *effective* seed (the workload default when none is given) — plus the
+    query name.
+    """
+    effective_seed = entry.workload._seed(seed)
+    return f"{entry.dataset}:scale={scale:g}:seed={effective_seed}:{entry.name}"
 
 
 def batch_task_specs(
@@ -265,9 +314,13 @@ def batch_task_specs(
     """One task spec per benchmark query (all six when ``queries`` is None).
 
     A spec is a plain JSON-able dict — exactly what the supervisor
-    fingerprints for the checkpoint ledger and ships to the worker.
-    ``deadline``/``max_work`` are the *full-solve* caps; the degradation
-    ladder scales them down for the tighter levels.
+    fingerprints for the checkpoint ledger and ships to the worker.  The
+    solve itself lives in the embedded ``request`` payload (a canonical
+    :class:`repro.core.solve.SolveRequest`: the ConCov + cardinality-ranked
+    enumeration the figures use); the workload coordinates stay top-level
+    so the worker can rebuild the database and the certifier its trusted
+    hypergraph.  ``deadline``/``max_work`` are the *full-solve* caps; the
+    degradation ladder scales them down for the tighter levels.
     """
     from repro.workloads.registry import benchmark_queries, benchmark_query
 
@@ -275,102 +328,132 @@ def batch_task_specs(
         entries = benchmark_queries()
     else:
         entries = [benchmark_query(name) for name in queries]
-    return [
-        {
-            "kind": "solve",
-            "query": entry.name,
-            "workload": entry.dataset,
-            "width": entry.width,
-            "scale": scale,
-            "seed": seed,
-            "deadline": deadline,
-            "max_work": max_work,
-            "label": entry.name,
-        }
-        for entry in entries
-    ]
+    specs = []
+    for entry in entries:
+        _, query = entry.load(scale=scale, seed=seed)
+        request = SolveRequest(
+            hypergraph=query.hypergraph(),
+            mode="enumerate",
+            width=entry.width,
+            constraint="concov",
+            preference="cardinalities",
+            limit=1,
+            data_key=benchmark_data_key(entry, scale, seed),
+            label=entry.name,
+        )
+        specs.append(
+            {
+                "kind": "solve",
+                "query": entry.name,
+                "workload": entry.dataset,
+                "width": entry.width,
+                "scale": scale,
+                "seed": seed,
+                "request": request.to_payload(),
+                "deadline": deadline,
+                "max_work": max_work,
+                "label": entry.name,
+            }
+        )
+    return specs
+
+
+def _batch_result_wire(result, request, mode: str, payload: Dict[str, object]):
+    """The worker result dict: SolveResult wire format + batch envelope."""
+    wire = result.to_payload()
+    wire["query"] = payload.get("query")
+    wire["mode"] = mode
+    wire["level"] = payload.get("level")
+    wire["width"] = request.width
+    return wire
 
 
 def execute_batch_task(payload: Dict[str, object]) -> Dict[str, object]:
     """The worker-side runner of one supervised batch task.
 
     ``payload`` is a task spec plus the supervisor's per-attempt fields:
-    ``mode`` (``ranked`` — the ConCov + cost-ranked solve the figures use —
-    or ``decide`` — the plain Algorithm 1 existence path of the degradation
-    ladder) and the level-scaled ``deadline``/``max_work`` caps, which
-    become the in-worker :class:`Budget` (the cooperative layer under the
-    parent's SIGKILL backstop).
+    ``mode`` (``ranked`` — the embedded request as-is — or ``decide`` —
+    its :meth:`~repro.core.solve.SolveRequest.degraded_to_decide`
+    degradation, the ladder's bottom rung) and the level-scaled
+    ``deadline``/``max_work`` caps, which become the in-worker
+    :class:`Budget` (the cooperative layer under the parent's SIGKILL
+    backstop).
 
-    Returns a JSON-able result dict: the decomposition in wire format (to
-    be re-certified by the parent), the claimed width, and the governed
-    :class:`SolveOutcome` counters.  An exhausted budget with no anytime
-    decomposition is reported as ``{"ok": False, "reason": <status>}`` so
-    the supervisor can degrade instead of trusting an inconclusive answer.
+    The solve itself is one :func:`repro.core.solve.execute` call: the
+    worker reconstructs the embedded :class:`SolveRequest`, loads the
+    database only when the request's preference needs data, and emits the
+    :class:`SolveResult` wire dict (decomposition payload to be
+    re-certified by the parent, claimed width, governed outcome counters).
+    An exhausted budget with no anytime decomposition is reported as
+    ``{"ok": False, "reason": <status>}`` so the supervisor can degrade
+    instead of trusting an inconclusive answer.
     """
-    from repro.core.candidate_bags import soft_candidate_bags
-    from repro.core.certify import decomposition_to_payload
-    from repro.core.ctd import candidate_td
-    from repro.core.enumerate import enumerate_ctds
-    from repro.db.cost import make_cost_preference
     from repro.workloads.registry import benchmark_query
 
-    entry = benchmark_query(str(payload["query"]))
-    width = int(payload.get("width") or entry.width)
-    scale = float(payload.get("scale") or 1.0)
-    seed = payload.get("seed")
+    try:
+        request = SolveRequest.from_payload(payload.get("request"))
+    except ValueError as exc:
+        return {"ok": False, "reason": "malformed-request", "error": str(exc)}
     mode = str(payload.get("mode", "ranked"))
+    if mode == "decide":
+        request = request.degraded_to_decide()
     budget = None
     if payload.get("deadline") is not None or payload.get("max_work") is not None:
         budget = Budget(
             deadline=payload.get("deadline"), max_work=payload.get("max_work")
         )
-    database, query = entry.load(scale=scale, seed=seed)
-    hypergraph = query.hypergraph()
-    bags = soft_candidate_bags(hypergraph, width, budget=budget)
-    if mode == "decide":
-        decomposition = candidate_td(hypergraph, bags, budget=budget)
-    else:
-        constraint = ConnectedCoverConstraint(hypergraph, width)
-        preference = make_cost_preference(
-            "cardinalities", query, database, CardinalityEstimator(database)
+    database = query = None
+    if request.preference in DATA_PREFERENCES:
+        entry = benchmark_query(str(payload["query"]))
+        database, query = entry.load(
+            scale=float(payload.get("scale") or 1.0), seed=payload.get("seed")
         )
-        found = enumerate_ctds(
-            hypergraph,
-            bags,
-            constraint=constraint,
-            preference=preference,
-            limit=1,
-            budget=budget,
-        )
-        decomposition = found[0] if found else None
-    from repro.runtime.budget import completed_outcome
-
-    outcome = budget.outcome() if budget is not None else completed_outcome()
-    if decomposition is None and outcome.partial:
+    result = execute(request, database=database, query=query, budget=budget)
+    if result.decomposition is None and result.outcome.partial:
         return {
             "ok": False,
-            "reason": outcome.status,
+            "reason": result.outcome.status,
             "error": "budget exhausted before any decomposition was found "
-            f"({outcome.describe()})",
+            f"({result.outcome.describe()})",
         }
-    return {
-        "ok": True,
-        "query": entry.name,
-        "mode": mode,
-        "level": payload.get("level"),
-        "width": width,
-        "decided": decomposition is not None,
-        "decomposition": (
-            decomposition_to_payload(decomposition)
-            if decomposition is not None
-            else None
-        ),
-        "outcome": {
-            "status": outcome.status,
-            "work": outcome.work,
-            "elapsed": round(outcome.elapsed, 6),
-        },
-    }
+    return _batch_result_wire(result, request, mode, payload)
+
+
+class BatchSolveCache:
+    """The supervisor's pre-spawn probe into the decomposition cache.
+
+    ``lookup(task)`` reconstructs the task's embedded
+    :class:`~repro.core.solve.SolveRequest` and asks the persistent cache
+    for a certified hit (:func:`repro.core.solve.lookup` — probe only,
+    never solves); on a hit the supervisor records the worker-format
+    result without spawning a process.  Storing needs no seam: the workers
+    themselves persist every complete cacheable solve through
+    :func:`repro.core.solve.execute`.
+    """
+
+    def __init__(self, cache="auto"):
+        from repro.core.cache import resolve_cache
+
+        self.cache = resolve_cache(cache)
+
+    def lookup(self, task: Dict[str, object]) -> Optional[Dict[str, object]]:
+        from repro.core.solve import lookup
+
+        if self.cache is None or not isinstance(task, dict):
+            return None
+        if task.get("kind") != "solve" or "request" not in task:
+            return None
+        try:
+            request = SolveRequest.from_payload(task.get("request"))
+        except ValueError:
+            return None
+        result = lookup(request, cache=self.cache)
+        if result is None:
+            return None
+        mode = "decide" if request.mode == "decide" else "ranked"
+        return _batch_result_wire(
+            result, request, mode, {**task, "level": "cache"}
+        )
 
 
 class BatchCertifier:
@@ -411,6 +494,20 @@ class BatchCertifier:
             str(task["query"]), float(task.get("scale") or 1.0), task.get("seed")
         )
         width = int(task.get("width") or default_width)
+        if "request" in task:
+            # The embedded request must describe the *trusted* hypergraph:
+            # a spec whose shape drifted from the generator (ledger bit
+            # rot, a forged task) must not certify against it.
+            try:
+                request = SolveRequest.from_payload(task.get("request"))
+            except ValueError as exc:
+                return Certification(False, (f"malformed task request: {exc}",))
+            if request.hypergraph != hypergraph:
+                return Certification(
+                    False,
+                    ("task request hypergraph does not match the trusted "
+                     "workload hypergraph",),
+                )
         payload = result.get("decomposition") if isinstance(result, dict) else None
         if payload is None:
             # "No decomposition of width <= k" cannot be certified in

@@ -31,6 +31,7 @@ from repro.hypergraph.library import (
     hypergraph_bog_star,
     triangle_hypergraph,
 )
+from repro.hypergraph.canonical import CanonicalForm, canonical_form
 from repro.hypergraph.io import parse_hyperbench, to_hyperbench
 from repro.hypergraph.stats import hypergraph_statistics
 
@@ -56,6 +57,8 @@ __all__ = [
     "hypergraph_h3",
     "hypergraph_h3_prime",
     "hypergraph_bog_star",
+    "CanonicalForm",
+    "canonical_form",
     "parse_hyperbench",
     "to_hyperbench",
     "hypergraph_statistics",

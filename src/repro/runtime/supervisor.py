@@ -22,6 +22,14 @@ anything a worker can do:
   boundary is checked by the parent-side ``certifier`` (see
   :mod:`repro.core.certify`); a result that fails is quarantined into the
   ledger as an ``invalid_result`` failure and the attempt retried.
+* **pre-spawn cache probe** — an optional ``cache_lookup`` callable
+  (``task -> result dict | None``, e.g.
+  :class:`repro.experiments.harness.BatchSolveCache`) is consulted before
+  a virgin task's first worker is spawned; a returned payload still runs
+  the full certifier (the cache is an accelerator, never an authority)
+  and lands as an ``ok`` result at level ``cache``, while a miss or a
+  failed certification falls through to a normal launch without burning
+  an attempt.
 * **checkpoint/resume** — with a :class:`~repro.runtime.checkpoint.BatchLedger`
   every terminal outcome is durably journaled; a re-run skips tasks with
   recorded ``ok`` results (re-certified, returned byte-for-byte) and
@@ -390,6 +398,11 @@ class Supervisor:
     this process — no crash containment or timeout enforcement, used by
     deterministic scheduling tests and overhead baselines).
 
+    ``cache_lookup`` is an optional ``task -> result dict | None`` probe
+    consulted before a virgin task's first worker is spawned (see
+    :meth:`_try_cache`); the supervisor stays agnostic about where the
+    payload comes from and certifies it like any worker result.
+
     ``clock``/``sleep`` are injectable for the fault suites
     (:class:`repro.runtime.faults.FakeClock` drives the backoff schedule
     deterministically); real batches use ``time.monotonic``/``time.sleep``.
@@ -404,6 +417,7 @@ class Supervisor:
         retry: Optional[RetryPolicy] = None,
         ladder: Sequence[DegradationLevel] = DEFAULT_LADDER,
         isolation: str = "process",
+        cache_lookup: Optional[Callable] = None,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
     ):
@@ -413,6 +427,7 @@ class Supervisor:
             raise ValueError("the degradation ladder needs at least one level")
         self.task_runner = task_runner
         self.certifier = certifier
+        self.cache_lookup = cache_lookup
         self.max_workers = max(1, int(max_workers))
         self.hard_timeout = float(hard_timeout)
         self.retry = retry if retry is not None else RetryPolicy()
@@ -505,6 +520,46 @@ class Supervisor:
         )
 
     # -- result handling ---------------------------------------------------
+
+    def _try_cache(
+        self, state: _TaskState, ledger: Optional[BatchLedger]
+    ) -> Optional[TaskResult]:
+        """Try to satisfy a virgin task from ``cache_lookup`` before spawning.
+
+        Only tasks with no attempts at the top ladder level are eligible —
+        a retrying/degrading task already proved the cache (or the cached
+        answer) insufficient.  A returned payload must carry ``ok: True``
+        and pass the full certifier; anything else (miss, lookup error,
+        certification failure) simply falls through to a normal launch
+        without recording a failure or burning an attempt.
+        """
+        if self.cache_lookup is None:
+            return None
+        if state.total_attempts or state.level_index:
+            return None
+        try:
+            payload = self.cache_lookup(state.task)
+        except Exception:
+            return None
+        if not isinstance(payload, dict) or payload.get("ok") is not True:
+            return None
+        if self.certifier is not None:
+            try:
+                certification = self.certifier(state.task, payload)
+            except Exception:
+                return None
+            if not certification:
+                return None
+        return TaskResult(
+            task=state.task,
+            fingerprint=state.fingerprint,
+            status=STATUS_OK,
+            level="cache",
+            attempts=0,
+            result=payload,
+            failures=state.failures,
+            elapsed=state.elapsed,
+        )
 
     def _accept_payload(
         self,
@@ -782,6 +837,11 @@ class Supervisor:
                         break
                     state = min(ready, key=lambda s: s.order)
                     pending.remove(state)
+                    cached = self._try_cache(state, ledger)
+                    if cached is not None:
+                        self._settle(state, cached, pending, results, ledger)
+                        now = self._clock()
+                        continue
                     try:
                         if self.isolation == "inline":
                             outcome = self._run_inline(state, ledger)

@@ -94,6 +94,26 @@ def schema_fingerprint(
 
 
 @dataclass
+class CleanReport:
+    """Per-category counts of what :meth:`SnapshotCache.clean` removed.
+
+    ``snapshots`` are ``.npz`` files (readable or not), ``quarantined``
+    the ``.corrupt`` files, ``temp`` the ``.npz.tmp*`` leftovers of
+    writes killed mid-flight, and ``locks`` the ``.lock`` files of build
+    lockers that never got to clean up (crashed or SIGKILLed builders).
+    """
+
+    snapshots: int = 0
+    quarantined: int = 0
+    temp: int = 0
+    locks: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.snapshots + self.quarantined + self.temp + self.locks
+
+
+@dataclass
 class SnapshotInfo:
     """One snapshot file as reported by :meth:`SnapshotCache.entries`."""
 
@@ -581,22 +601,50 @@ class SnapshotCache:
             if filename.endswith(QUARANTINE_SUFFIX)
         ]
 
-    def clean(self) -> int:
-        """Delete every snapshot, quarantine and stray temp file; returns the count.
+    def locks(self) -> List[str]:
+        """Paths of build lock (``*.lock``) files in the cache directory."""
+        if not os.path.isdir(self.directory):
+            return []
+        return [
+            os.path.join(self.directory, filename)
+            for filename in sorted(os.listdir(self.directory))
+            if filename.endswith(LOCK_SUFFIX)
+        ]
+
+    def stale_locks(self, stale_after: float = LOCK_STALE_SECONDS) -> List[str]:
+        """Lock files older than ``stale_after`` seconds.
+
+        A healthy builder removes its lock when it finishes; a lock that
+        outlives the stale threshold belongs to a crashed or SIGKILLed
+        build and only delays the next builder (which would break it
+        itself after waiting the threshold out).
+        """
+        return [
+            path for path in self.locks() if _lock_is_stale(path, stale_after)
+        ]
+
+    def clean(self) -> CleanReport:
+        """Delete every snapshot, quarantine, temp and lock file.
 
         Covers ``*.npz`` (readable or not), ``*.npz.corrupt`` quarantine
-        files, and ``*.npz.tmp*`` leftovers from writes killed between
-        ``mkstemp`` and the cleanup handler.
+        files, ``*.npz.tmp*`` leftovers from writes killed between
+        ``mkstemp`` and the cleanup handler, and ``*.lock`` files of
+        builders that never cleaned up.  Returns the per-category
+        :class:`CleanReport` so callers can say *what* was removed.
         """
-        removed = 0
+        report = CleanReport()
         if not os.path.isdir(self.directory):
-            return removed
+            return report
         for filename in sorted(os.listdir(self.directory)):
-            if (
-                filename.endswith(".npz")
-                or filename.endswith(QUARANTINE_SUFFIX)
-                or ".npz.tmp" in filename
-            ):
-                os.unlink(os.path.join(self.directory, filename))
-                removed += 1
-        return removed
+            if filename.endswith(QUARANTINE_SUFFIX):
+                report.quarantined += 1
+            elif filename.endswith(LOCK_SUFFIX):
+                report.locks += 1
+            elif ".npz.tmp" in filename:
+                report.temp += 1
+            elif filename.endswith(".npz"):
+                report.snapshots += 1
+            else:
+                continue
+            os.unlink(os.path.join(self.directory, filename))
+        return report

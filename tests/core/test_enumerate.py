@@ -188,24 +188,17 @@ class TestDeterministicTieBreak:
         assert outputs[0] == outputs[1] == outputs[2]
 
 
-class TestDeprecatedParameters:
-    def test_beam_and_caps_warn_and_do_not_change_results(self, h2):
-        bags = soft_candidate_bags(h2, 2)
-        exact = enumerate_ctds(h2, bags, limit=5)
-        with pytest.warns(DeprecationWarning):
-            beamed = enumerate_ctds(h2, bags, limit=5, beam=2)
-        with pytest.warns(DeprecationWarning):
-            capped = CTDEnumerator(h2, bags, combinations_per_basis=1).enumerate(
-                limit=5
-            )
-        assert [d.canonical_form() for d in beamed] == [
-            d.canonical_form() for d in exact
-        ]
-        assert [d.canonical_form() for d in capped] == [
-            d.canonical_form() for d in exact
-        ]
+class TestRemovedParameters:
+    """The PR 4 beam-era no-ops are gone, not just deprecated."""
 
-    def test_no_warning_without_deprecated_parameters(self, h2, recwarn):
+    def test_beam_and_caps_are_rejected(self, h2):
+        bags = soft_candidate_bags(h2, 2)
+        with pytest.raises(TypeError):
+            enumerate_ctds(h2, bags, limit=5, beam=2)
+        with pytest.raises(TypeError):
+            CTDEnumerator(h2, bags, combinations_per_basis=1)
+
+    def test_no_deprecation_warnings(self, h2, recwarn):
         bags = soft_candidate_bags(h2, 2)
         enumerate_ctds(h2, bags, limit=2)
         assert not [

@@ -1,0 +1,145 @@
+"""Property-based tests (hypothesis) for hypergraph canonical forms.
+
+The cache's correctness rests on three claims about
+:func:`repro.hypergraph.canonical.canonical_form`:
+
+1. **Isomorphism invariance** — any vertex relabeling and edge
+   renaming/reordering/duplication yields the same fingerprint and the
+   same canonical edge encoding;
+2. **Permutation soundness** — bags translate to canonical indices and
+   back without loss, across *different* labelings of the same shape;
+3. **End to end** — a CTD solved under one labeling, stored in canonical
+   indices and mapped into another labeling's vertices, certifies against
+   that other hypergraph.
+
+Each claim is exercised over random small hypergraphs under random
+relabelings.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.certify import certify_ctd
+from repro.core.cache import DecompositionCache
+from repro.core.solve import SolveRequest, execute
+from repro.hypergraph.canonical import canonical_form
+from repro.hypergraph.hypergraph import Hypergraph
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def hypergraph_with_relabeling(draw, max_vertices=7, max_edges=6):
+    """A random connected-ish hypergraph plus a random isomorphic copy."""
+    num_vertices = draw(st.integers(min_value=2, max_value=max_vertices))
+    vertices = [f"v{i}" for i in range(num_vertices)]
+    num_edges = draw(st.integers(min_value=1, max_value=max_edges))
+    edges = {}
+    for i in range(num_edges):
+        size = draw(st.integers(min_value=1, max_value=min(3, num_vertices)))
+        edges[f"e{i}"] = draw(
+            st.lists(
+                st.sampled_from(vertices), min_size=size, max_size=size, unique=True
+            )
+        )
+    covered = {v for verts in edges.values() for v in verts}
+    for extra, vertex in enumerate(v for v in vertices if v not in covered):
+        partner = vertices[0] if vertex != vertices[0] else vertices[1]
+        edges[f"iso{extra}"] = [vertex, partner]
+    original = Hypergraph(edges)
+
+    # A random isomorphic copy: permuted vertex names (a disjoint alphabet,
+    # so no accidental fixed points), shuffled edge names and vertex order.
+    permutation = draw(st.permutations(range(num_vertices)))
+    rename = {f"v{i}": f"w{permutation[i]}" for i in range(num_vertices)}
+    relabeled = {
+        f"r{j}": draw(st.permutations([rename[v] for v in verts]))
+        for j, (name, verts) in enumerate(sorted(edges.items()))
+    }
+    return original, Hypergraph(relabeled), rename
+
+
+class TestFingerprintInvariance:
+    @SETTINGS
+    @given(hypergraph_with_relabeling())
+    def test_isomorphic_hypergraphs_agree(self, pair):
+        original, relabeled, _ = pair
+        first = canonical_form(original)
+        second = canonical_form(relabeled)
+        assert first.fingerprint == second.fingerprint
+        assert first.encoding == second.encoding
+
+    @SETTINGS
+    @given(hypergraph_with_relabeling())
+    def test_duplicate_edges_are_invisible(self, pair):
+        original, _, _ = pair
+        doubled = {edge.name: sorted(edge.vertices, key=str) for edge in original.edges}
+        for edge in original.edges:
+            doubled[f"dup_{edge.name}"] = sorted(edge.vertices, key=str)
+        assert (
+            canonical_form(Hypergraph(doubled)).fingerprint
+            == canonical_form(original).fingerprint
+        )
+
+    @SETTINGS
+    @given(hypergraph_with_relabeling())
+    def test_structural_change_changes_the_fingerprint(self, pair):
+        original, _, _ = pair
+        whole = frozenset(original.vertices)
+        if any(edge.vertices == whole for edge in original.edges):
+            return  # the "everything" edge already exists: no new structure
+        grown = {edge.name: sorted(edge.vertices, key=str) for edge in original.edges}
+        grown["everything"] = sorted(original.vertices, key=str)
+        assert (
+            canonical_form(Hypergraph(grown)).fingerprint
+            != canonical_form(original).fingerprint
+        )
+
+
+class TestPermutationSoundness:
+    @SETTINGS
+    @given(hypergraph_with_relabeling())
+    def test_bags_round_trip_within_one_labeling(self, pair):
+        original, _, _ = pair
+        canonical = canonical_form(original)
+        for edge in original.edges:
+            indices = canonical.to_canonical_bag(edge.vertices)
+            assert indices == sorted(indices)
+            assert canonical.from_canonical_bag(indices) == edge.vertices
+
+    @SETTINGS
+    @given(hypergraph_with_relabeling())
+    def test_bags_transfer_between_labelings(self, pair):
+        # A vertex set written in canonical indices under one labeling and
+        # read back under another — the exact translation a cache hit
+        # performs — preserves the edge structure.  (It need not reproduce
+        # one particular renaming: with automorphic shapes the transfer is
+        # only canonical up to an automorphism, which certification is
+        # indifferent to.)
+        original, relabeled, _ = pair
+        first = canonical_form(original)
+        second = canonical_form(relabeled)
+        relabeled_edge_sets = {edge.vertices for edge in relabeled.edges}
+        for edge in original.edges:
+            indices = first.to_canonical_bag(edge.vertices)
+            assert second.from_canonical_bag(indices) in relabeled_edge_sets
+
+
+class TestEndToEnd:
+    @SETTINGS
+    @given(hypergraph_with_relabeling())
+    def test_cached_ctd_certifies_under_any_labeling(self, tmp_path_factory, pair):
+        original, relabeled, _ = pair
+        width = max(1, original.num_edges())
+        store = DecompositionCache(str(tmp_path_factory.mktemp("canonical-prop")))
+        first = execute(SolveRequest(hypergraph=original, width=width), cache=store)
+        assert first.decided  # width = |E| always admits a CTD
+        second = execute(SolveRequest(hypergraph=relabeled, width=width), cache=store)
+        assert second.decided
+        assert second.cache_status == "hit"
+        assert store.stats.rejected == 0
+        certification = certify_ctd(relabeled, second.decomposition, width_claim=width)
+        assert certification, certification.describe()

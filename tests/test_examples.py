@@ -1,10 +1,10 @@
 """The example scripts stay importable and deprecation-free.
 
-PR 4 turned ``beam`` / ``combinations_per_basis`` into deprecated no-ops;
-the examples must track the current API instead of exercising deprecated
-surfaces, so each one is executed in a subprocess with
-``-W error::DeprecationWarning`` — any use of a deprecated parameter (or a
-stale import) fails the suite, not just CI.
+The examples must track the current API instead of exercising deprecated
+surfaces (the PR 4 beam-era no-op parameters are now removed entirely), so
+each one is executed in a subprocess with ``-W error::DeprecationWarning``
+— any use of a deprecated parameter (or a stale import) fails the suite,
+not just CI.
 """
 
 import os

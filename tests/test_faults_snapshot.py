@@ -242,9 +242,15 @@ class TestQuarantine:
         truncate_file(cache.path_for(*self._key()), fraction=0.5)
         cache.load_or_build(*self._key(), small_database)
         (directory / "leftover.npz.tmpXYZ").write_bytes(b"partial")
-        assert cache.clean() == 3
+        (directory / "stuck.npz.lock").write_text("12345")
+        report = cache.clean()
+        assert report.total == 4
+        assert (report.snapshots, report.quarantined, report.temp, report.locks) == (
+            1, 1, 1, 1,
+        )
         assert os.listdir(directory) == []
         assert cache.quarantined() == []
+        assert cache.locks() == []
 
     def test_quarantine_missing_file_is_a_noop(self, tmp_path):
         cache = SnapshotCache(str(tmp_path / "cache"))

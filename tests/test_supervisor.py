@@ -349,3 +349,73 @@ class TestReport:
     def test_unknown_failure_kind_is_rejected(self):
         with pytest.raises(ValueError):
             TaskFailure("melted", "?")
+
+
+class TestCacheSeam:
+    """The pre-spawn cache probe: hits skip the worker, anything else
+    falls through to a normal launch without burning an attempt."""
+
+    def test_hit_satisfies_the_task_without_a_worker(self, tmp_path):
+        counter = str(tmp_path / "ran")
+        hit = {"ok": True, "query": "a", "level": "cache"}
+        report = supervisor(
+            isolation="inline", cache_lookup=lambda task: dict(hit)
+        ).run([task("a", counter_path=counter)])
+        result = report.results[0]
+        assert result.status == "ok" and result.level == "cache"
+        assert result.attempts == 0 and not result.failures
+        assert result.result["query"] == "a"
+        assert not result.cached  # "cached" is the ledger-resume flag
+        assert not os.path.exists(counter)  # the runner never executed
+        assert report.exit_code == 0
+
+    def test_miss_and_lookup_error_fall_through(self, tmp_path):
+        for probe in (lambda t: None, lambda t: {"ok": False}, None):
+            report = supervisor(isolation="inline", cache_lookup=probe).run(
+                [task("a")]
+            )
+            result = report.results[0]
+            assert result.status == "ok" and result.level == "full"
+            assert result.attempts == 1 and not result.failures
+
+        def explode(t):
+            raise RuntimeError("cache directory on fire")
+
+        report = supervisor(isolation="inline", cache_lookup=explode).run([task("a")])
+        result = report.results[0]
+        assert result.status == "ok" and result.level == "full"
+        assert result.attempts == 1 and not result.failures
+
+    def test_certifier_rejected_hit_burns_no_attempt(self):
+        def probe(t):
+            return {"ok": True, "query": t.get("query"), "poisoned": True}
+
+        def certifier(spec, payload):
+            return Certification(
+                not payload.get("poisoned"), ("stale cache entry",)
+            )
+
+        report = supervisor(
+            isolation="inline", cache_lookup=probe, certifier=certifier
+        ).run([task("a")])
+        result = report.results[0]
+        # The poisoned hit was silently discarded: the real run happened on
+        # attempt 1 at the top rung with no recorded failure.
+        assert result.status == "ok" and result.level == "full"
+        assert result.attempts == 1 and not result.failures
+
+    def test_only_virgin_tasks_consult_the_cache(self):
+        calls = []
+
+        def probe(t):
+            calls.append(t.get("query"))
+            return None
+
+        report = supervisor(isolation="inline", cache_lookup=probe).run(
+            [task("a", fail_levels=["full"])]
+        )
+        result = report.results[0]
+        assert result.status == "ok" and result.level == "tight"
+        # Retries and degraded rungs re-enter the pending queue, but only
+        # the first (virgin) pick probed the cache.
+        assert calls == ["a"]

@@ -111,7 +111,8 @@ class TestSnapshotCache:
         entry = workload_entry("hetionet")
         cache = SnapshotCache(str(tmp_path))
         entry.load(scale=0.2, cache=cache)
-        assert cache.clean() == 1
+        report = cache.clean()
+        assert (report.total, report.snapshots) == (1, 1)
         assert cache.entries() == []
 
     def test_auto_mode_skips_small_scales(self, tmp_path, monkeypatch):
@@ -255,7 +256,7 @@ class TestCorruptFiles:
 
     def test_clean_removes_unreadable_files(self, tmp_path):
         _, cache, _ = self._cache_with_junk(tmp_path)
-        assert cache.clean() == 2
+        assert cache.clean().total == 2
         assert cache.entries() == []
 
     def test_corrupt_named_snapshot_is_rebuilt(self, tmp_path):
