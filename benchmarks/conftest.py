@@ -29,6 +29,27 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 #: snapshot cache automatically (see ``repro.workloads.registry``).
 BENCH_SCALE = float(os.environ.get("BENCH_SCALE", "1.0"))
 
+#: How the slow reference side of the speedup suites is timed.  ``full``
+#: (the default) times the reference on every instance; ``sample`` times
+#: it only on a deterministic subset (even instance indices) and the
+#: suite geomean extrapolates from the sampled rows — the production side
+#: is still timed and self-checked on *every* instance either way, so
+#: sample mode trades reference coverage for wall-clock, not correctness
+#: coverage of the production code.  Each ``BENCH_*.json`` records the
+#: mode it was produced under (``reference_mode`` in the payload,
+#: ``sampled`` per row), so trajectories across runs compare like with
+#: like.
+BENCH_REFERENCE_MODE = os.environ.get("BENCH_REFERENCE_MODE", "full").strip().lower()
+if BENCH_REFERENCE_MODE not in ("full", "sample"):
+    raise ValueError(
+        f"BENCH_REFERENCE_MODE={BENCH_REFERENCE_MODE!r}: expected 'full' or 'sample'"
+    )
+
+
+def reference_sampled(index: int) -> bool:
+    """Whether instance ``index`` times its slow reference this run."""
+    return BENCH_REFERENCE_MODE == "full" or index % 2 == 0
+
 
 def write_result(name: str, text: str) -> str:
     """Persist a rendered figure/table under benchmarks/results/."""

@@ -314,6 +314,7 @@ def _cmd_batch(args, out) -> int:
             seed=args.seed,
             deadline=args.timeout,
             max_work=args.max_work,
+            shards=args.shards,
         )
     except KeyError as exc:
         raise UserError(str(exc.args[0]) if exc.args else str(exc)) from exc
@@ -338,6 +339,47 @@ def _cmd_batch(args, out) -> int:
     if ledger_path is not None:
         print(f"ledger: {ledger_path}", file=out)
     return report.exit_code
+
+
+def _cmd_throughput(args, out) -> int:
+    from repro.experiments.harness import batch_task_specs
+    from repro.runtime.errors import UserError
+    from repro.runtime.scheduler import BatchSolvePlan, run_plan
+
+    try:
+        tasks = batch_task_specs(
+            queries=args.queries or None,
+            scale=args.scale,
+            seed=args.seed,
+            deadline=args.timeout,
+            max_work=args.max_work,
+            shards=args.shards,
+        )
+    except KeyError as exc:
+        raise UserError(str(exc.args[0]) if exc.args else str(exc)) from exc
+    if args.repeat > 1:
+        # Replicated query sets model a workload that asks the same
+        # shapes repeatedly — the scheduler answers the duplicates by
+        # certified fan-out instead of re-solving.
+        tasks = [dict(task) for _ in range(args.repeat) for task in tasks]
+    plan = BatchSolvePlan.from_tasks(tasks)
+    print(plan.describe(), file=out)
+    report = run_plan(
+        plan,
+        workers=args.workers,
+        shards=args.shards,
+        cache=None if args.no_cache else "auto",
+    )
+    summary = report.summary()
+    for key in sorted(summary):
+        print(f"{key}: {summary[key]}", file=out)
+    failures = [
+        r for r in report.results if not (isinstance(r, dict) and r.get("ok"))
+    ]
+    if failures:
+        print(f"failed queries: {len(failures)}", file=out)
+        return 1
+    return 0
 
 
 # -- workload snapshot management ------------------------------------------
@@ -605,6 +647,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1, help="concurrent worker processes"
     )
     batch.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="intra-solve shard count per worker (pre-fixpoint stages); "
+        "non-semantic, so resumed ledgers still match",
+    )
+    batch.add_argument(
         "--retries",
         type=int,
         default=2,
@@ -628,6 +677,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="delete an existing ledger instead of resuming from it",
     )
     batch.set_defaults(handler=_cmd_batch)
+
+    throughput = subparsers.add_parser(
+        "throughput",
+        help="multi-query batch throughput via the similarity scheduler",
+    )
+    throughput.add_argument(
+        "--queries",
+        nargs="*",
+        default=None,
+        metavar="QUERY",
+        help="benchmark query names (default: all six)",
+    )
+    throughput.add_argument("--scale", type=float, default=0.5)
+    throughput.add_argument(
+        "--seed", type=int, default=None, help="workload seed (default: per-workload)"
+    )
+    _budget_arguments(throughput)
+    throughput.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes for representative solves (0/1 = inline)",
+    )
+    throughput.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="intra-solve shard count (pre-fixpoint stages)",
+    )
+    throughput.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="replicate the query set N times (duplicates answered by fan-out)",
+    )
+    throughput.add_argument(
+        "--no-cache",
+        action="store_true",
+        dest="no_cache",
+        help="skip the persistent decomposition cache",
+    )
+    throughput.set_defaults(handler=_cmd_throughput)
 
     workloads = subparsers.add_parser(
         "workloads", help="manage workload snapshot caches"

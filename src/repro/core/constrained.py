@@ -78,13 +78,21 @@ class ConstrainedCTDSolver:
         constraint: Optional[SubtreeConstraint] = None,
         preference: Optional[Preference] = None,
         budget: Optional[Budget] = None,
+        shards: int = 1,
+        pool=None,
     ):
         # The shared core (repro.core.options) carries the filtered bag set,
         # the block index, the probe tables and the per-fragment memo tables
         # that turn the per-probe decomposition rebuilds of the seed DP into
         # dict lookups.
         self.core = SolverCore(
-            hypergraph, candidate_bags, constraint, preference, budget=budget
+            hypergraph,
+            candidate_bags,
+            constraint,
+            preference,
+            budget=budget,
+            shards=shards,
+            pool=pool,
         )
         self.hypergraph = hypergraph
         self.budget = budget
@@ -343,9 +351,17 @@ def constrained_candidate_td(
     constraint: Optional[SubtreeConstraint] = None,
     preference: Optional[Preference] = None,
     budget: Optional[Budget] = None,
+    shards: int = 1,
+    pool=None,
 ) -> Optional[TreeDecomposition]:
     """Solve the ``(𝒞, ≤)``-CandidateTD problem (Algorithm 2)."""
     solver = ConstrainedCTDSolver(
-        hypergraph, candidate_bags, constraint, preference, budget=budget
+        hypergraph,
+        candidate_bags,
+        constraint,
+        preference,
+        budget=budget,
+        shards=shards,
+        pool=pool,
     )
     return solver.solve()

@@ -194,9 +194,17 @@ class CTDEnumerator:
         constraint: Optional[SubtreeConstraint] = None,
         preference: Optional[Preference] = None,
         budget: Optional[Budget] = None,
+        shards: int = 1,
+        pool=None,
     ):
         self.core = SolverCore(
-            hypergraph, candidate_bags, constraint, preference, budget=budget
+            hypergraph,
+            candidate_bags,
+            constraint,
+            preference,
+            budget=budget,
+            shards=shards,
+            pool=pool,
         )
         self.budget = budget
         self.hypergraph = hypergraph
@@ -350,6 +358,8 @@ def enumerate_ctds(
     preference: Optional[Preference] = None,
     limit: int = 10,
     budget: Optional[Budget] = None,
+    shards: int = 1,
+    pool=None,
 ) -> List[TreeDecomposition]:
     """The exact ``limit`` best CompNF CTDs ranked by ``preference``.
 
@@ -364,5 +374,7 @@ def enumerate_ctds(
         constraint=constraint,
         preference=preference,
         budget=budget,
+        shards=shards,
+        pool=pool,
     )
     return enumerator.enumerate(limit=limit)

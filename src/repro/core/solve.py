@@ -64,6 +64,7 @@ __all__ = [
     "SolveResult",
     "execute",
     "lookup",
+    "serve_canonical_record",
     "constraint_object",
     "preference_object",
 ]
@@ -355,20 +356,33 @@ def preference_object(spec: Optional[str], database=None, query=None):
 # -- execution ----------------------------------------------------------------
 
 
-def _candidate_bags(request: SolveRequest, width: int, budget: Optional[Budget]):
+def _candidate_bags(
+    request: SolveRequest,
+    width: int,
+    budget: Optional[Budget],
+    shards: int = 1,
+    pool=None,
+):
     from repro.core.candidate_bags import SoftBagGenerator
 
-    generator = SoftBagGenerator(request.hypergraph, width, budget=budget)
+    generator = SoftBagGenerator(
+        request.hypergraph, width, budget=budget, shards=shards, pool=pool
+    )
     return generator.candidate_bags(request.iterations)
 
 
 def _solve_fixed_width(
-    request: SolveRequest, database, query, budget: Optional[Budget]
+    request: SolveRequest,
+    database,
+    query,
+    budget: Optional[Budget],
+    shards: int = 1,
+    pool=None,
 ) -> List[TreeDecomposition]:
     """Run the decide/optimal/enumerate modes at the request's width."""
     hypergraph = request.hypergraph
     width = int(request.width)  # type: ignore[arg-type]
-    bags = _candidate_bags(request, width, budget)
+    bags = _candidate_bags(request, width, budget, shards=shards, pool=pool)
     constraint = constraint_object(request.constraint, hypergraph, width)
     preference = preference_object(request.preference, database, query)
     if request.mode == "enumerate":
@@ -381,11 +395,13 @@ def _solve_fixed_width(
             preference=preference,
             limit=request.limit,
             budget=budget,
+            shards=shards,
+            pool=pool,
         )
     if constraint is None and preference is None:
         from repro.core.ctd import candidate_td
 
-        found = candidate_td(hypergraph, bags, budget=budget)
+        found = candidate_td(hypergraph, bags, budget=budget, shards=shards, pool=pool)
     else:
         from repro.core.constrained import constrained_candidate_td
 
@@ -395,6 +411,8 @@ def _solve_fixed_width(
             constraint=constraint,
             preference=preference,
             budget=budget,
+            shards=shards,
+            pool=pool,
         )
     return [found] if found is not None else []
 
@@ -415,6 +433,62 @@ def _record_for(
     return {"width": width, "decompositions": stored}
 
 
+def serve_canonical_record(
+    request: SolveRequest,
+    canonical,
+    record: Dict[str, object],
+    started: float,
+    cache_status: str = "hit",
+) -> SolveResult:
+    """Map a canonical record to the caller's vertices and re-certify it.
+
+    A *canonical record* stores bags as canonical vertex indices
+    (:func:`_record_for`) — the storage format shared by the persistent
+    decomposition cache and the batch scheduler's in-process hot memo.
+    Every decomposition is translated through the caller's own
+    permutation and certified with :func:`certify_ctd` before being
+    served (the cache-is-never-an-authority trust model: a record is
+    evidence, the certificate is the proof).  Raises :class:`ValueError`
+    on any record that does not withstand certification.
+    """
+    hypergraph = request.hypergraph
+    width = int(record["width"])  # type: ignore[index]
+    stored = record["decompositions"]  # type: ignore[index]
+    if not isinstance(stored, list) or not stored:
+        raise ValueError("entry stores no decompositions")
+    constraint = constraint_object(request.constraint, hypergraph, width)
+    decompositions = []
+    for item in stored:
+        if not isinstance(item, dict):
+            raise ValueError("entry decomposition is not a dict")
+        mapped = {
+            "bags": [
+                sorted(canonical.from_canonical_bag(bag), key=str)
+                for bag in item.get("bags", ())
+            ],
+            "parents": item.get("parents"),
+        }
+        ctd = decomposition_from_payload(hypergraph, mapped)
+        certification = certify_ctd(
+            hypergraph, ctd, constraint=constraint, width_claim=width
+        )
+        if not certification:
+            raise ValueError(
+                f"cached decomposition failed certification: "
+                f"{certification.describe()}"
+            )
+        decompositions.append(ctd)
+    return SolveResult(
+        request=request,
+        decided=True,
+        decompositions=decompositions,
+        width=width,
+        outcome=completed_outcome(),
+        cache_status=cache_status,
+        elapsed=time.perf_counter() - started,
+    )
+
+
 def _serve_cached(
     request: SolveRequest,
     canonical,
@@ -423,53 +497,19 @@ def _serve_cached(
     kind: str,
     started: float,
 ) -> Optional[SolveResult]:
-    """Map a cached record back to the caller's vertices and re-certify it.
+    """Serve a persistent-cache record, quarantining entries that fail.
 
     Returns the servable result, or ``None`` after quarantining an entry
     that does not withstand certification — the caller then solves
     normally, so cache corruption degrades to a miss, never a wrong answer.
     """
-    hypergraph = request.hypergraph
     try:
-        width = int(record["width"])  # type: ignore[index]
-        stored = record["decompositions"]  # type: ignore[index]
-        if not isinstance(stored, list) or not stored:
-            raise ValueError("entry stores no decompositions")
-        constraint = constraint_object(request.constraint, hypergraph, width)
-        decompositions = []
-        for item in stored:
-            if not isinstance(item, dict):
-                raise ValueError("entry decomposition is not a dict")
-            mapped = {
-                "bags": [
-                    sorted(canonical.from_canonical_bag(bag), key=str)
-                    for bag in item.get("bags", ())
-                ],
-                "parents": item.get("parents"),
-            }
-            ctd = decomposition_from_payload(hypergraph, mapped)
-            certification = certify_ctd(
-                hypergraph, ctd, constraint=constraint, width_claim=width
-            )
-            if not certification:
-                raise ValueError(
-                    f"cached decomposition failed certification: "
-                    f"{certification.describe()}"
-                )
-            decompositions.append(ctd)
+        result = serve_canonical_record(request, canonical, record, started)
     except (KeyError, TypeError, ValueError) as exc:
         store.reject(canonical.fingerprint, kind, str(exc))
         return None
-    return SolveResult(
-        request=request,
-        decided=True,
-        decompositions=decompositions,
-        width=width,
-        outcome=completed_outcome(),
-        cache_status="hit",
-        cache_stats=store.stats.as_dict(),
-        elapsed=time.perf_counter() - started,
-    )
+    result.cache_stats = store.stats.as_dict()
+    return result
 
 
 def execute(
@@ -478,6 +518,8 @@ def execute(
     query=None,
     cache: Union[str, DecompositionCache, None] = "auto",
     budget: Optional[Budget] = None,
+    shards: int = 1,
+    pool=None,
 ) -> SolveResult:
     """Execute one request: cache lookup, solve, cache store.
 
@@ -487,14 +529,32 @@ def execute(
     ``deadline``/``max_work`` caps when given; either way a single budget
     governs candidate-bag generation and the solver fixpoint, and
     truncated (anytime) results are returned but never cached.
+
+    ``shards > 1`` shards the pre-fixpoint stages (candidate-bag
+    enumeration, probe tables) across a process pool
+    (:mod:`repro.runtime.parallel`); results are byte-identical to a
+    serial solve.  ``pool`` overrides the default cached pool — pass an
+    explicit ``None``-pool path via ``shards=1`` to stay serial.
     """
     started = time.perf_counter()
     if budget is None and (request.deadline is not None or request.max_work is not None):
         budget = Budget(deadline=request.deadline, max_work=request.max_work)
     store = resolve_cache(cache)
+    shards = max(1, int(shards))
+    if shards > 1 and pool is None:
+        import multiprocessing
+
+        if not multiprocessing.current_process().daemon:
+            from repro.runtime.parallel import get_pool
+
+            pool = get_pool(shards)
+        # else: daemonic pool workers cannot spawn children; the stripes
+        # run inline (pool=None), which is still byte-identical to serial.
 
     if request.mode == "soft-width":
-        return _execute_soft_width(request, database, query, store, budget, started)
+        return _execute_soft_width(
+            request, database, query, store, budget, started, shards=shards, pool=pool
+        )
 
     kind = request.cache_kind()
     canonical = None
@@ -509,7 +569,9 @@ def execute(
             if served is not None:
                 return served
 
-    decompositions = _solve_fixed_width(request, database, query, budget)
+    decompositions = _solve_fixed_width(
+        request, database, query, budget, shards=shards, pool=pool
+    )
     outcome = budget.outcome() if budget is not None else completed_outcome()
     decided = bool(decompositions)
     width = int(request.width) if decided else None  # type: ignore[arg-type]
@@ -575,6 +637,8 @@ def _execute_soft_width(
     store: Optional[DecompositionCache],
     budget: Optional[Budget],
     started: float,
+    shards: int = 1,
+    pool=None,
 ) -> SolveResult:
     """``soft-width``: search ``k = 1..bound`` through cached sub-requests.
 
@@ -595,7 +659,15 @@ def _execute_soft_width(
         if budget is not None and budget.exhausted:
             break
         sub = replace(request, mode=mode, width=k, limit=1)
-        last = execute(sub, database=database, query=query, cache=store, budget=budget)
+        last = execute(
+            sub,
+            database=database,
+            query=query,
+            cache=store,
+            budget=budget,
+            shards=shards,
+            pool=pool,
+        )
         if last.decided:
             outcome = budget.outcome() if budget is not None else completed_outcome()
             return SolveResult(

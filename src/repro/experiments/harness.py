@@ -292,6 +292,43 @@ class QueryExperiment:
 #   persistent decomposition cache.
 
 
+#: Module-level memo of workload rebuilds, shared by every consumer that
+#: needs a benchmark's (database, query, width) for the same deterministic
+#: coordinates — the batch certifier's trusted hypergraphs, the
+#: supervisor's cache probe and task-spec construction, the worker-side
+#: runner.  Generation is deterministic per ``(name, scale, seed)``, so
+#: one rebuild serves every task of a batch instead of one per task.
+_WORKLOAD_MEMO: Dict[Tuple[str, float, object], Tuple[object, object, int]] = {}
+
+
+def load_benchmark_workload(
+    name: str, scale: float = 1.0, seed=None, cache="auto"
+) -> Tuple[object, object, int]:
+    """Memoised ``(database, query, width)`` for one benchmark query.
+
+    Only the default snapshot-cache configuration is memoised — a custom
+    ``cache`` argument changes where snapshots come from, so those loads
+    stay un-memoised rather than risk serving data from the wrong source.
+    """
+    from repro.workloads.registry import benchmark_query
+
+    key = (str(name), float(scale), seed)
+    if cache != "auto":
+        entry = benchmark_query(name)
+        database, query = entry.load(scale=scale, seed=seed, cache=cache)
+        return database, query, entry.width
+    if key not in _WORKLOAD_MEMO:
+        entry = benchmark_query(name)
+        database, query = entry.load(scale=scale, seed=seed)
+        _WORKLOAD_MEMO[key] = (database, query, entry.width)
+    return _WORKLOAD_MEMO[key]
+
+
+def clear_workload_memo() -> None:
+    """Drop all memoised workload rebuilds (tests, memory pressure)."""
+    _WORKLOAD_MEMO.clear()
+
+
 def benchmark_data_key(entry, scale: float, seed: Optional[int]) -> str:
     """The data identity behind a benchmark solve, for cache keying.
 
@@ -310,6 +347,7 @@ def batch_task_specs(
     seed: Optional[int] = None,
     deadline: Optional[float] = None,
     max_work: Optional[int] = None,
+    shards: int = 1,
 ) -> List[Dict[str, object]]:
     """One task spec per benchmark query (all six when ``queries`` is None).
 
@@ -321,6 +359,10 @@ def batch_task_specs(
     so the worker can rebuild the database and the certifier its trusted
     hypergraph.  ``deadline``/``max_work`` are the *full-solve* caps; the
     degradation ladder scales them down for the tighter levels.
+    ``shards > 1`` asks each worker to shard its solve's pre-fixpoint
+    stages inline; like the caps it is non-semantic (it changes how fast
+    the answer arrives, not the answer) and stays out of the ledger
+    fingerprint.
     """
     from repro.workloads.registry import benchmark_queries, benchmark_query
 
@@ -330,7 +372,7 @@ def batch_task_specs(
         entries = [benchmark_query(name) for name in queries]
     specs = []
     for entry in entries:
-        _, query = entry.load(scale=scale, seed=seed)
+        _, query, _ = load_benchmark_workload(entry.name, scale=scale, seed=seed)
         request = SolveRequest(
             hypergraph=query.hypergraph(),
             mode="enumerate",
@@ -352,6 +394,7 @@ def batch_task_specs(
                 "request": request.to_payload(),
                 "deadline": deadline,
                 "max_work": max_work,
+                "shards": shards,
                 "label": entry.name,
             }
         )
@@ -386,10 +429,10 @@ def execute_batch_task(payload: Dict[str, object]) -> Dict[str, object]:
     re-certified by the parent, claimed width, governed outcome counters).
     An exhausted budget with no anytime decomposition is reported as
     ``{"ok": False, "reason": <status>}`` so the supervisor can degrade
-    instead of trusting an inconclusive answer.
+    instead of trusting an inconclusive answer.  A ``shards`` field > 1
+    shards the solve's pre-fixpoint stages; inside a daemonic pool worker
+    the stripes run inline (no nested pools), still byte-identical.
     """
-    from repro.workloads.registry import benchmark_query
-
     try:
         request = SolveRequest.from_payload(payload.get("request"))
     except ValueError as exc:
@@ -404,11 +447,24 @@ def execute_batch_task(payload: Dict[str, object]) -> Dict[str, object]:
         )
     database = query = None
     if request.preference in DATA_PREFERENCES:
-        entry = benchmark_query(str(payload["query"]))
-        database, query = entry.load(
-            scale=float(payload.get("scale") or 1.0), seed=payload.get("seed")
+        # Memoised per worker process: a worker that runs several tasks of
+        # the same (name, scale, seed) rebuilds the database once.
+        database, query, _ = load_benchmark_workload(
+            str(payload["query"]),
+            scale=float(payload.get("scale") or 1.0),
+            seed=payload.get("seed"),
         )
-    result = execute(request, database=database, query=query, budget=budget)
+    shards = max(1, int(payload.get("shards") or 1))
+    result = execute(
+        request,
+        database=database,
+        query=query,
+        budget=budget,
+        shards=shards,
+        # The batch scheduler sets cache_off on cache-less plans so worker
+        # solves mirror the parent's cache decision.
+        cache=None if payload.get("cache_off") else "auto",
+    )
     if result.decomposition is None and result.outcome.partial:
         return {
             "ok": False,
@@ -476,11 +532,13 @@ class BatchCertifier:
     def _trusted_hypergraph(self, name: str, scale: float, seed):
         key = (name, scale, seed)
         if key not in self._hypergraphs:
-            from repro.workloads.registry import benchmark_query
-
-            entry = benchmark_query(name)
-            _, query = entry.load(scale=scale, seed=seed, cache=self.cache)
-            self._hypergraphs[key] = (query.hypergraph(), entry.width)
+            # The rebuild itself goes through the module-level workload
+            # memo, so certifier, cache probe and spec construction share
+            # one deterministic generation per (name, scale, seed).
+            _, query, width = load_benchmark_workload(
+                name, scale=scale, seed=seed, cache=self.cache
+            )
+            self._hypergraphs[key] = (query.hypergraph(), width)
         return self._hypergraphs[key]
 
     def __call__(self, task: Dict[str, object], result: Dict[str, object]):

@@ -1,0 +1,252 @@
+"""Equivalence of the sharded (parallel) paths with the serial solver stack.
+
+The intra-solve sharding layer (:mod:`repro.runtime.parallel`) stripes
+candidate-bag enumeration and probe-table construction by starting edge /
+block id and merges shard results deterministically; the batch scheduler
+(:mod:`repro.runtime.scheduler`) answers duplicate shapes by certified
+fan-out.  Both claim *observational identity* with the serial code:
+
+* component-union, cover-union and candidate-bag sets are byte-identical
+  to serial for every shard count (inline stripes and the real
+  shared-memory worker pool),
+* probe tables — including ``parents`` adjacency order — are identical,
+* a budget-exhausted sharded run satisfies the same anytime contract as
+  a serial exhaustion (a sound subset, sticky non-complete status),
+* batch-plan results do not depend on the worker count, and the
+  per-query answers do not depend on the order queries arrive in.
+
+The grids are seeded and deterministic, matching the house property-suite
+style.
+"""
+
+import json
+import os
+import random
+
+import pytest
+
+from repro.core.candidate_bags import (
+    SoftBagGenerator,
+    _component_union_masks,
+    _cover_union_masks,
+)
+from repro.core.options import SolverCore
+from repro.core.solve import SolveRequest
+from repro.hypergraph.generators import (
+    random_cyclic_query_hypergraph,
+    random_hypergraph,
+)
+from repro.hypergraph.hypergraph import Edge, Hypergraph
+from repro.hypergraph.library import cycle_hypergraph, hypergraph_h2
+from repro.runtime import parallel
+from repro.runtime.budget import Budget
+from repro.runtime.parallel import (
+    get_pool,
+    parallel_component_union_masks,
+    parallel_cover_union_masks,
+    parallel_probe_tables,
+    reap_stale_segments,
+    shutdown_pools,
+)
+from repro.runtime.scheduler import BatchSolvePlan, run_plan
+
+SHARD_COUNTS = (1, 2, 3, 5)
+
+
+def _instances():
+    instances = [
+        ("h2", hypergraph_h2(), 2),
+        ("c8", cycle_hypergraph(8), 2),
+        ("cyclic-q9", random_cyclic_query_hypergraph(9, 3, seed=4), 2),
+    ]
+    for seed in range(4):
+        rng = random.Random(3000 + seed)
+        instances.append(
+            (
+                f"rand-{seed}",
+                random_hypergraph(
+                    rng.randint(6, 16),
+                    rng.randint(4, 14),
+                    max_edge_size=4,
+                    seed=seed,
+                ),
+                rng.choice((2, 3)),
+            )
+        )
+    return instances
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_striped_component_unions_match_serial(shards):
+    for name, hypergraph, k in _instances():
+        serial = _component_union_masks(hypergraph, k)
+        sharded = parallel_component_union_masks(hypergraph, k, shards)
+        assert sharded == serial, (name, shards)
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_striped_cover_unions_match_serial(shards):
+    for name, hypergraph, k in _instances():
+        masks = sorted(hypergraph.bitsets.edge_masks)
+        serial = _cover_union_masks(masks, k)
+        sharded = parallel_cover_union_masks(masks, k, shards)
+        assert sharded == serial, (name, shards)
+
+
+@pytest.mark.parametrize("shards", (2, 3))
+def test_sharded_candidate_bags_match_serial(shards):
+    for name, hypergraph, k in _instances():
+        for level in (0, 1):
+            serial = SoftBagGenerator(hypergraph, k).candidate_bags(level)
+            sharded = SoftBagGenerator(hypergraph, k, shards=shards).candidate_bags(
+                level
+            )
+            assert sharded == serial, (name, shards, level)
+
+
+@pytest.mark.parametrize("shards", (2, 3))
+def test_sharded_probe_tables_match_serial(shards):
+    for name, hypergraph, k in _instances():
+        bags = SoftBagGenerator(hypergraph, k).candidate_bags(0)
+        serial = SolverCore(hypergraph, bags).probe_tables()
+        sharded = SolverCore(hypergraph, bags, shards=shards).probe_tables()
+        assert sharded == serial, (name, shards)
+
+
+def test_budget_exhausted_shards_yield_sound_subset():
+    """Exhaustion in a shard gives the serial anytime contract: a subset."""
+    hypergraph = random_hypergraph(18, 14, max_edge_size=3, seed=9)
+    full = _component_union_masks(hypergraph, 2)
+    for shards in (1, 2, 3):
+        budget = Budget(max_work=60)
+        partial = parallel_component_union_masks(hypergraph, 2, shards, budget=budget)
+        assert partial <= full, shards
+        assert budget.exhausted, shards
+        assert budget.status != "complete", shards
+
+
+def test_real_pool_matches_serial_and_leaves_no_segments(monkeypatch):
+    """The shared-memory worker-pool path is byte-identical and leak-free."""
+    # Small instances would normally stay inline; force the pool path.
+    monkeypatch.setattr(parallel, "MIN_PARALLEL_ITEMS", 1)
+    hypergraph = random_hypergraph(20, 16, max_edge_size=3, seed=17)
+    k = 2
+    pool = get_pool(2)
+    try:
+        serial_components = _component_union_masks(hypergraph, k)
+        pooled_components = parallel_component_union_masks(
+            hypergraph, k, shards=2, pool=pool
+        )
+        assert pooled_components == serial_components
+
+        bags = SoftBagGenerator(hypergraph, k).candidate_bags(0)
+        core = SolverCore(hypergraph, bags)
+        serial_tables = core.probe_tables()
+        pooled_tables = parallel_probe_tables(core.index, shards=2, pool=pool)
+        assert pooled_tables == serial_tables
+    finally:
+        shutdown_pools()
+    leftovers = [
+        name
+        for name in os.listdir("/dev/shm")
+        if name.startswith("repro-shm-")
+    ]
+    assert leftovers == []
+
+
+def test_reaper_unlinks_dead_pid_segments():
+    """A segment named for a dead creator pid is unlinked by the reaper."""
+    from multiprocessing import shared_memory
+
+    # A pid that is certainly dead: spawn-and-wait a child and reuse its pid.
+    import subprocess
+
+    proc = subprocess.Popen(["sleep", "0"])
+    proc.wait()
+    dead = proc.pid
+    name = f"repro-shm-{dead}-deadbeef"
+    segment = shared_memory.SharedMemory(name=name, create=True, size=64)
+    segment.close()
+    # Ownership is being handed to the (dead) pid: drop this process's
+    # resource-tracker registration so the reaper is the one to unlink it.
+    from multiprocessing import resource_tracker
+
+    resource_tracker.unregister(segment._name, "shared_memory")
+    try:
+        removed = reap_stale_segments()
+        assert name in removed
+        assert not os.path.exists(f"/dev/shm/{name}")
+    finally:
+        try:
+            shared_memory.SharedMemory(name=name, create=False).unlink()
+        except FileNotFoundError:
+            pass
+
+
+def _batch_tasks():
+    def hg(edges):
+        return Hypergraph(
+            [Edge(name, frozenset(vs)) for name, vs in edges.items()]
+        )
+
+    cycle = {"e1": ["a", "b"], "e2": ["b", "c"], "e3": ["c", "d"], "e4": ["d", "a"]}
+    twin = {"f1": ["p", "q"], "f2": ["q", "r"], "f3": ["r", "s"], "f4": ["s", "p"]}
+    tri = {"t1": ["x", "y"], "t2": ["y", "z"], "t3": ["z", "x"]}
+    tasks = []
+    for name, shape, mode in (
+        ("cycle-1", cycle, "enumerate"),
+        ("tri-1", tri, "optimal"),
+        ("cycle-2", twin, "enumerate"),
+        ("cycle-3", cycle, "enumerate"),
+        ("tri-2", tri, "optimal"),
+    ):
+        request = SolveRequest(
+            hypergraph=hg(shape),
+            mode=mode,
+            width=2,
+            constraint="concov",
+            limit=2 if mode == "enumerate" else 1,
+            label=name,
+        )
+        tasks.append(
+            {"kind": "solve", "query": name, "request": request.to_payload()}
+        )
+    return tasks
+
+
+def _strip(wire):
+    return {k: v for k, v in wire.items() if k not in ("cache", "mode", "level")}
+
+
+def test_batch_results_independent_of_worker_count():
+    tasks = _batch_tasks()
+    inline = run_plan(BatchSolvePlan.from_tasks(tasks), workers=0, cache=None)
+    try:
+        pooled = run_plan(BatchSolvePlan.from_tasks(tasks), workers=2, cache=None)
+    finally:
+        shutdown_pools()
+    a = json.dumps([_strip(r) for r in inline.results], sort_keys=True, default=str)
+    b = json.dumps([_strip(r) for r in pooled.results], sort_keys=True, default=str)
+    assert a == b
+    assert pooled.counters["fanout"] == inline.counters["fanout"] > 0
+
+
+def test_batch_answers_independent_of_schedule_order():
+    """Reordering the query set must not change any query's answer.
+
+    Representative choice (and therefore the exact witness served to a
+    fanned-out member) is input-order dependent by design; the *answers*
+    — decided, width, number of certified decompositions — are not.
+    """
+    tasks = _batch_tasks()
+    forward = run_plan(BatchSolvePlan.from_tasks(tasks), cache=None)
+    reversed_tasks = list(reversed(tasks))
+    backward = run_plan(BatchSolvePlan.from_tasks(reversed_tasks), cache=None)
+    by_query_forward = {r["query"]: r for r in forward.results}
+    by_query_backward = {r["query"]: r for r in backward.results}
+    assert by_query_forward.keys() == by_query_backward.keys()
+    for query, fwd in by_query_forward.items():
+        bwd = by_query_backward[query]
+        assert fwd["decided"] == bwd["decided"], query
+        assert fwd["width"] == bwd["width"], query
+        assert len(fwd["decompositions"]) == len(bwd["decompositions"]), query
