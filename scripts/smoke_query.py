@@ -1,0 +1,123 @@
+"""End-to-end smoke test of the query front door (used by CI).
+
+Drives ``repro query`` the way a user would — SQL text and named
+JOB-lite queries — cold and warm against a real on-disk decomposition
+cache, and checks the trust model at the API level:
+
+1. a cold run solves, stores and answers; the warm run answers
+   *byte-identically* but sources its CTD from the cache (provenance
+   flips, nothing else changes),
+2. the cache store reports a hit and the hit was re-certified rather
+   than trusted blindly (a poisoned entry is rejected and transparently
+   re-solved to the same answer),
+3. SQL-text and named-query entry points agree, and malformed SQL is a
+   one-line diagnostic with exit code 2.
+"""
+
+import io
+import json
+import sys
+import tempfile
+
+from repro.cli import main as cli_main
+from repro.core.cache import DecompositionCache
+from repro.db.frontdoor import run_query
+from repro.workloads.joblite import (
+    JOBLITE_QUERY_SQL,
+    build_joblite_database,
+    joblite_query,
+)
+
+QUERIES = ["jl02", "jl08"]
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}")
+    sys.exit(1)
+
+
+def run_cli(arguments):
+    out = io.StringIO()
+    code = cli_main(arguments, out=out)
+    return code, out.getvalue()
+
+
+def check_cold_warm_cli(tmp: str) -> None:
+    for name in QUERIES:
+        argv = ["query", "--name", name, "--cache", tmp]
+        cold_code, cold = run_cli(argv)
+        warm_code, warm = run_cli(argv)
+        if cold_code != 0 or warm_code != 0:
+            fail(f"{name}: query exited {cold_code}/{warm_code}, expected 0/0")
+        if "provenance=solve" not in cold:
+            fail(f"{name}: cold run did not report provenance=solve:\n{cold}")
+        if "provenance=cache" not in warm:
+            fail(f"{name}: warm run did not report provenance=cache:\n{warm}")
+        if cold.replace("provenance=solve", "provenance=cache") != warm:
+            fail(f"{name}: warm output differs beyond provenance:\n{cold}\n{warm}")
+        print(f"{name}: warm run byte-identical, CTD served from cache")
+
+
+def check_sql_entry_matches_named(tmp: str) -> None:
+    name = QUERIES[0]
+    _, by_name = run_cli(["query", "--name", name, "--cache", tmp])
+    _, by_sql = run_cli(
+        ["query", "--sql", JOBLITE_QUERY_SQL[name], "--cache", tmp]
+    )
+    name_answer = by_name.splitlines()[0]
+    sql_answer = by_sql.splitlines()[0]
+    if name_answer != sql_answer:
+        fail(f"SQL and named entry disagree: {sql_answer!r} vs {name_answer!r}")
+    print(f"SQL text and named entry agree: {sql_answer}")
+
+
+def check_recertification(tmp: str) -> None:
+    database = build_joblite_database(scale=1.0)
+    query = joblite_query(database, QUERIES[0])
+    store = DecompositionCache(tmp)
+    reference = run_query(query, database, cache=store)
+    hits_before = store.stats.hits
+    warm = run_query(query, database, cache=store)
+    if warm.provenance != "cache" or store.stats.hits <= hits_before:
+        fail("warm API run did not hit the decomposition cache")
+    # Poison every entry; re-certification must reject and re-solve.
+    for info in store.entries():
+        with open(info.path, "r", encoding="utf-8") as handle:
+            record = json.load(handle)
+        if record.get("decompositions"):
+            record["decompositions"] = [{"bags": [[0]], "parents": [None]}]
+        with open(info.path, "w", encoding="utf-8") as handle:
+            json.dump(record, handle)
+    healed = run_query(query, database, cache=store)
+    if store.stats.rejected < 1:
+        fail("poisoned cache entry was not rejected at re-certification")
+    if healed.provenance != "solve" or healed.value != reference.value:
+        fail(
+            "poisoned cache changed the answer: "
+            f"{healed.provenance} {healed.value} vs {reference.value}"
+        )
+    print("cache hits re-certified; poisoned entry rejected and re-solved")
+
+
+def check_errors() -> None:
+    code, output = run_cli(["query", "--sql", "SELEKT 1", "--no-cache"])
+    if code != 2 or not output.startswith("error:"):
+        fail(f"malformed SQL: expected one-line error and exit 2, got {code}")
+    code, _ = run_cli(["query", "--name", "jl02", "--sql", "SELECT *"])
+    if code != 2:
+        fail("conflicting --name/--sql did not exit 2")
+    print("CLI: malformed SQL and conflicting sources exit 2")
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as cli_tmp:
+        check_cold_warm_cli(cli_tmp)
+        check_sql_entry_matches_named(cli_tmp)
+    with tempfile.TemporaryDirectory() as api_tmp:
+        check_recertification(api_tmp)
+    check_errors()
+    print("OK: query front door smoke passed")
+
+
+if __name__ == "__main__":
+    main()

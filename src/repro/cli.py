@@ -10,6 +10,8 @@ Usage (also available as ``python -m repro``)::
     python -m repro decompose QUERY.hg -k 2 --concov --timeout 30
     python -m repro enumerate QUERY.hg -k 2 --limit 5 --max-work 1000000
     python -m repro stats QUERY.hg
+    python -m repro query --sql "SELECT MIN(t_year) FROM title, movie_companies ..."
+    python -m repro query --name jl04 --explain
     python -m repro experiment q_hto3 --limit 5
     python -m repro table1
     python -m repro batch --queries q_hto q_hto2 --timeout 30 --workers 2
@@ -268,6 +270,82 @@ def _cmd_experiment(args, out) -> int:
         ["", f"Baseline: work={baseline.work}, result={baseline.result}"],
     )
     print(text, file=out)
+    return _finish(budget, out)
+
+
+def _cmd_query(args, out) -> int:
+    from repro.db.frontdoor import plan_query, run_query
+    from repro.runtime.errors import UserError
+
+    selected = [s for s in (args.sql, args.file, args.name) if s]
+    if len(selected) != 1:
+        raise UserError("exactly one of --sql, --file or --name is required")
+
+    if args.name is not None:
+        from repro.workloads.registry import benchmark_query
+
+        try:
+            entry = benchmark_query(args.name)
+        except KeyError as exc:
+            raise UserError(str(exc.args[0]) if exc.args else str(exc)) from exc
+        database, source = entry.load(scale=args.scale, seed=args.seed)
+        query_name = args.name
+    else:
+        from repro.workloads.registry import workload_entry
+
+        if args.sql is not None:
+            source = args.sql
+        else:
+            try:
+                with open(args.file, "r", encoding="utf-8") as handle:
+                    source = handle.read()
+            except OSError as exc:
+                raise UserError(
+                    f"cannot read query file {args.file!r}: {exc}"
+                ) from exc
+        try:
+            workload = workload_entry(args.workload)
+        except KeyError as exc:
+            raise UserError(str(exc.args[0]) if exc.args else str(exc)) from exc
+        database = workload.load(scale=args.scale, seed=args.seed)
+        query_name = "query"
+
+    cache = None if args.no_cache else (args.cache or "auto")
+    budget = _make_budget(args)
+    if args.explain:
+        plan = plan_query(
+            source,
+            database,
+            width=args.width,
+            name=query_name,
+            cache=cache,
+            budget=budget,
+        )
+        print(plan.describe(), file=out)
+        return _finish(budget, out, ok=0 if plan.decomposition is not None else 1)
+
+    result = run_query(
+        source,
+        database,
+        width=args.width,
+        name=query_name,
+        cache=cache,
+        budget=budget,
+    )
+    if result.rows is None:
+        print("result: none (run stopped early)", file=out)
+    elif result.plan.query.aggregate is not None:
+        print(f"{result.columns[0]} = {result.value}", file=out)
+    else:
+        print("\t".join(result.columns), file=out)
+        for row in result.rows:
+            print("\t".join(str(value) for value in row), file=out)
+        print(f"{len(result.rows)} row(s)", file=out)
+    print(
+        f"width={result.width} provenance={result.provenance} "
+        f"solve_work={result.solve_work} execution_work={result.execution_work}",
+        file=out,
+    )
     return _finish(budget, out)
 
 
@@ -594,12 +672,64 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("hypergraph")
     stats.set_defaults(handler=_cmd_stats)
 
+    query = subparsers.add_parser(
+        "query",
+        help="run a SQL query through the front door: parse, cached CTD, Yannakakis",
+    )
+    query.add_argument("--sql", default=None, metavar="TEXT", help="SQL query text")
+    query.add_argument(
+        "--file", default=None, metavar="PATH", help="file containing the SQL query"
+    )
+    query.add_argument(
+        "--name",
+        default=None,
+        metavar="QUERY",
+        help="a registered benchmark query (q_ds .. q_lb, jl01 .. jl10)",
+    )
+    query.add_argument(
+        "--workload",
+        default="joblite",
+        metavar="DATASET",
+        help="dataset --sql/--file queries run against (default: joblite)",
+    )
+    query.add_argument("--scale", type=float, default=1.0)
+    query.add_argument(
+        "--seed", type=int, default=None, help="workload seed (default: per-workload)"
+    )
+    query.add_argument(
+        "--width",
+        type=int,
+        default=None,
+        metavar="K",
+        help="decompose at exactly width K (default: least-width search)",
+    )
+    query.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the decomposition and execution plan without executing",
+    )
+    query.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="decomposition cache directory (default: $REPRO_CTD_CACHE)",
+    )
+    query.add_argument(
+        "--no-cache",
+        action="store_true",
+        dest="no_cache",
+        help="skip the persistent decomposition cache",
+    )
+    _budget_arguments(query)
+    query.set_defaults(handler=_cmd_query)
+
     experiment = subparsers.add_parser(
         "experiment", help="run one benchmark query end to end"
     )
     experiment.add_argument(
         "query",
-        choices=["q_ds", "q_hto", "q_hto2", "q_hto3", "q_hto4", "q_lb"],
+        choices=["q_ds", "q_hto", "q_hto2", "q_hto3", "q_hto4", "q_lb"]
+        + [f"jl{i:02d}" for i in range(1, 11)],
     )
     experiment.add_argument("--scale", type=float, default=0.5)
     experiment.add_argument("--limit", type=int, default=5)
@@ -730,7 +860,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     build.add_argument(
         "--workload",
-        choices=["all", "tpcds", "hetionet", "lsqb"],
+        choices=["all", "tpcds", "hetionet", "lsqb", "joblite"],
         default="all",
     )
     build.add_argument("--scale", type=float, default=10.0)

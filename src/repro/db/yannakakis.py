@@ -54,11 +54,28 @@ class BudgetedWorkCounter(WorkCounter):
 
 
 def atom_relation(database: Database, atom: Atom) -> Relation:
-    """The atom's relation renamed to query variables and projected to them."""
+    """The atom's relation renamed to query variables and projected to them.
+
+    A variable repeated within the atom (``R(x, x)`` — e.g. a WHERE clause
+    that transitively equates two columns of the same table occurrence) is
+    a selection: only rows where those columns agree participate, and one
+    representative column carries the variable.
+    """
     relation = database.relation(atom.relation)
-    mapping = dict(zip(atom.attributes, atom.variables))
-    renamed = relation.rename(atom.alias, mapping)
-    return renamed.project(list(dict.fromkeys(atom.variables)))
+    by_variable: Dict[str, List[str]] = {}
+    for attribute, variable in zip(atom.attributes, atom.variables):
+        by_variable.setdefault(variable, []).append(attribute)
+    duplicated = [attrs for attrs in by_variable.values() if len(attrs) > 1]
+    if duplicated:
+        relation = relation.select(
+            lambda row: all(
+                len({row[a] for a in attrs}) == 1 for attrs in duplicated
+            )
+        )
+    projected = relation.project([attrs[0] for attrs in by_variable.values()])
+    return projected.rename(
+        atom.alias, {attrs[0]: v for v, attrs in by_variable.items()}
+    )
 
 
 def choose_cover(

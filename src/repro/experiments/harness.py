@@ -126,6 +126,43 @@ class QueryExperiment:
             data_key=data_key,
         )
 
+    @classmethod
+    def from_sql(
+        cls,
+        database: Database,
+        sql: str,
+        width: Optional[int] = None,
+        name: Optional[str] = None,
+        budget: Optional[Budget] = None,
+        data_key: Optional[str] = None,
+        cache="auto",
+    ) -> "QueryExperiment":
+        """Build the experiment from raw SQL through the query front door.
+
+        Parses ``sql`` against ``database`` and, when ``width`` is not
+        given, derives it with the front door's least-width search (a
+        cache-served soft-width solve), so batch/throughput callers can
+        schedule ad-hoc SQL without knowing the query's width up front.
+        """
+        from repro.db.frontdoor import plan_query
+
+        plan = plan_query(sql, database, width=width, name=name, cache=cache, budget=budget)
+        if plan.width is None:
+            from repro.runtime.errors import UserError
+
+            raise UserError(
+                f"could not determine a decomposition width for query "
+                f"{plan.query.name!r} (search stopped early)"
+            )
+        return cls(
+            database,
+            plan.query,
+            plan.width,
+            name=name,
+            budget=budget,
+            data_key=data_key,
+        )
+
     # -- candidate bags -----------------------------------------------------------
 
     @property

@@ -48,7 +48,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.hypergraph.hypergraph import Hypergraph, Vertex
 
-__all__ = ["CanonicalForm", "canonical_form", "MAX_LEAVES"]
+__all__ = ["CanonicalForm", "canonical_form", "hypergraph_fingerprint", "MAX_LEAVES"]
 
 #: Upper bound on explored leaves of the individualisation search.  With
 #: twin collapsing, real query hypergraphs resolve in a handful of leaves;
@@ -255,3 +255,13 @@ def canonical_form(
     for v, index in enumerate(search.best_position):
         order[index] = vertices[v]
     return CanonicalForm(tuple(order), search.best_encoding)
+
+
+def hypergraph_fingerprint(hypergraph: Hypergraph) -> str:
+    """The isomorphism-invariant fingerprint of ``hypergraph``.
+
+    Convenience wrapper around :func:`canonical_form` for callers that
+    only need the cache key / provenance identity (e.g. the query front
+    door's ``--explain`` output), not the permutation.
+    """
+    return canonical_form(hypergraph).fingerprint

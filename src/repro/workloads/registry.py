@@ -2,8 +2,9 @@
 
 Two registries live here:
 
-* :func:`workload_entries` — the three **datasets** (``tpcds``,
-  ``hetionet``, ``lsqb``) as :class:`WorkloadEntry` records with a common
+* :func:`workload_entries` — the **datasets** (``tpcds``, ``hetionet``,
+  ``lsqb`` from the paper's evaluation, plus the front-door ``joblite``
+  suite) as :class:`WorkloadEntry` records with a common
   loader interface: deterministic seeded generation at any scale factor
   (``scale >= 10`` is the paper's SF 10 regime), transparent snapshot
   caching (:mod:`repro.workloads.snapshot`) and loading of *real* dump
@@ -52,6 +53,13 @@ from repro.workloads.lsqb import (
     lsqb_query_qlb,
 )
 from repro.workloads.lsqb import GENERATOR_VERSION as _LSQB_VERSION
+from repro.workloads.joblite import (
+    JOBLITE_QUERY_WIDTHS,
+    JOBLITE_SCHEMA,
+    build_joblite_database,
+    joblite_query,
+)
+from repro.workloads.joblite import GENERATOR_VERSION as _JOBLITE_VERSION
 
 #: Snapshot caching in ``cache="auto"`` mode only kicks in at or above this
 #: scale factor: tiny test-sized builds are faster to regenerate than to
@@ -165,7 +173,7 @@ class WorkloadEntry:
 
 
 def workload_entries() -> Dict[str, WorkloadEntry]:
-    """The three datasets of the paper's evaluation, by name."""
+    """The registered datasets, by name (paper evaluation + JOB-lite)."""
     return {
         "tpcds": WorkloadEntry(
             name="tpcds",
@@ -187,6 +195,13 @@ def workload_entries() -> Dict[str, WorkloadEntry]:
             generator_version=_LSQB_VERSION,
             build_database=build_lsqb_database,
             default_seed=23,
+        ),
+        "joblite": WorkloadEntry(
+            name="joblite",
+            schema=JOBLITE_SCHEMA,
+            generator_version=_JOBLITE_VERSION,
+            build_database=build_joblite_database,
+            default_seed=17,
         ),
     }
 
@@ -264,9 +279,28 @@ def benchmark_queries() -> List[BenchmarkQuery]:
     ]
 
 
+def joblite_benchmark_queries() -> List[BenchmarkQuery]:
+    """The ten JOB-lite queries (``jl01`` .. ``jl10``) as benchmark entries.
+
+    Kept out of :func:`benchmark_queries` — that list is pinned to the six
+    queries of the paper's Table 1 — but resolvable through
+    :func:`benchmark_query`, so the experiment / batch / throughput layers
+    can schedule JOB-lite by name exactly like the paper queries.
+    """
+    return [
+        BenchmarkQuery(
+            name=name,
+            dataset="joblite",
+            width=width,
+            build_query=lambda db, _name=name: joblite_query(db, _name),
+        )
+        for name, width in sorted(JOBLITE_QUERY_WIDTHS.items())
+    ]
+
+
 def benchmark_query(name: str) -> BenchmarkQuery:
-    """Look up a benchmark query by name."""
-    for entry in benchmark_queries():
+    """Look up a benchmark query by name (paper Table 1 or JOB-lite)."""
+    for entry in benchmark_queries() + joblite_benchmark_queries():
         if entry.name == name:
             return entry
     raise KeyError(f"unknown benchmark query {name!r}")

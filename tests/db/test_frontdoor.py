@@ -1,0 +1,145 @@
+"""Unit tests for the query front door (`repro.db.frontdoor`).
+
+The cross-layer differential proof lives in
+``tests/property/test_property_query_pipeline.py`` and the workload
+goldens in ``tests/workloads/test_joblite.py``; here the focus is the
+front door's own contract: plan structure, provenance, the
+cache-is-never-an-authority trust model for isomorphic shapes, budget
+sharing across solve and execution, and the error taxonomy.
+"""
+
+import pytest
+
+from repro.core.cache import DecompositionCache
+from repro.db.database import Database
+from repro.db.frontdoor import plan_query, run_query
+from repro.runtime.budget import Budget
+from repro.runtime.errors import UserError
+
+
+@pytest.fixture
+def database():
+    db = Database()
+    db.create_table_columns("R", ["a", "b"], [[1, 2, 3, 3], [10, 20, 30, 31]])
+    db.create_table_columns("S", ["b", "c"], [[10, 20, 20, 31], [5, 6, 7, 8]])
+    db.create_table_columns("T", ["c", "d"], [[5, 6, 6], [0, 6, 2]])
+    return db
+
+
+TRIANGLE_SQL = (
+    "SELECT COUNT(a) FROM R, S, T "
+    "WHERE R.b = S.b AND S.c = T.c AND T.d = R.a"
+)
+
+
+class TestPlan:
+    def test_plan_records_fingerprint_width_and_node_plans(self, database):
+        plan = plan_query("SELECT * FROM R, S WHERE R.b = S.b", database, cache=None)
+        assert plan.provenance == "solve"
+        assert plan.width == 1
+        assert len(plan.fingerprint) == 64 or len(plan.fingerprint) >= 16
+        assert plan.node_plans, "lowered Yannakakis plan must be attached"
+        described = plan.describe()
+        assert "decomposition: width=1 provenance=solve" in described
+
+    def test_isomorphic_shapes_share_a_fingerprint(self, database):
+        first = plan_query("SELECT * FROM R, S WHERE R.b = S.b", database, cache=None)
+        # Same shape over different tables/columns: S(b,c) joined to T(c,d).
+        second = plan_query("SELECT * FROM S, T WHERE S.c = T.c", database, cache=None)
+        assert first.fingerprint == second.fingerprint
+
+    def test_explain_does_not_execute(self, database):
+        budget = Budget(max_work=10_000)
+        plan = plan_query(TRIANGLE_SQL, database, cache=None, budget=budget)
+        assert plan.decomposition is not None
+        # Only solve work was charged; execution would have added more.
+        solve_only = budget.outcome().work
+        result = run_query(TRIANGLE_SQL, database, cache=None, budget=budget)
+        assert result.outcome.work > solve_only
+
+
+class TestRows:
+    def test_full_rows_are_sorted_and_distinct(self, database):
+        result = run_query("SELECT * FROM R, S WHERE R.b = S.b", database, cache=None)
+        assert result.rows == sorted(set(result.rows))
+        assert result.value == len(result.rows)
+        assert result.columns == tuple(sorted(result.columns))
+
+    def test_aggregate_rows_wrap_the_value(self, database):
+        result = run_query(
+            "SELECT MIN(a) FROM R, S WHERE R.b = S.b", database, cache=None
+        )
+        assert result.rows == [(result.value,)]
+        assert result.columns[0].startswith("min_")
+
+    def test_repeated_variable_within_atom_executes_as_selection(self, database):
+        # T.c = T.d within one occurrence: only rows with c == d survive.
+        # T has (6, 6) as its only agreeing row; S rows with c == 6 join it.
+        result = run_query(
+            "SELECT COUNT(b) FROM S, T WHERE T.c = T.d AND S.c = T.c",
+            database,
+            cache=None,
+        )
+        assert result.outcome.complete
+        assert result.value == 1
+
+    def test_conjunctive_query_object_accepted(self, database):
+        from repro.db.sqlish import parse_select_query
+
+        query = parse_select_query(TRIANGLE_SQL, database, name="triangle")
+        via_object = run_query(query, database, cache=None)
+        via_text = run_query(TRIANGLE_SQL, database, cache=None)
+        assert via_object.value == via_text.value
+        assert via_object.width == via_text.width == 2
+
+
+class TestCacheTrust:
+    def test_warm_run_hits_recertifies_and_matches(self, database, tmp_path):
+        store = DecompositionCache(str(tmp_path))
+        cold = run_query(TRIANGLE_SQL, database, cache=store)
+        assert cold.provenance == "solve"
+        warm = run_query(TRIANGLE_SQL, database, cache=store)
+        assert warm.provenance == "cache"
+        assert store.stats.hits >= 1
+        assert warm.rows == cold.rows and warm.value == cold.value
+        assert warm.width == cold.width
+
+    def test_isomorphic_query_served_from_the_same_entry(self, database, tmp_path):
+        store = DecompositionCache(str(tmp_path))
+        run_query("SELECT * FROM R, S WHERE R.b = S.b", database, cache=store)
+        stored = len(store.entries())
+        hit = run_query("SELECT * FROM S, T WHERE S.c = T.c", database, cache=store)
+        assert hit.provenance == "cache"
+        assert len(store.entries()) == stored  # no new entry needed
+        # And the mapped decomposition answers correctly for the new query.
+        direct = run_query("SELECT * FROM S, T WHERE S.c = T.c", database, cache=None)
+        assert hit.rows == direct.rows
+
+
+class TestErrorsAndBudgets:
+    def test_impossible_width_is_a_user_error(self, database):
+        # The triangle needs width 2; pinning width=1 must fail loudly.
+        with pytest.raises(UserError, match="no decomposition of width <= 1"):
+            run_query(TRIANGLE_SQL, database, width=1, cache=None)
+
+    def test_malformed_sql_raises_user_error(self, database):
+        from repro.db.sqlish import SqlError
+
+        with pytest.raises(SqlError):
+            run_query("SELEKT a FROM R", database, cache=None)
+
+    def test_budget_exhaustion_returns_no_rows_with_honest_counters(self, database):
+        budget = Budget(max_work=30)
+        result = run_query(TRIANGLE_SQL, database, cache=None, budget=budget)
+        assert result.outcome.partial
+        assert result.rows is None and result.value is None
+        assert result.outcome.work > 0
+        assert result.outcome.exit_code == 125
+
+    def test_one_budget_governs_solve_and_execution(self, database):
+        # Generous enough for the solve, too tight for the whole execution.
+        unbounded = run_query(TRIANGLE_SQL, database, cache=None)
+        budget = Budget(max_work=unbounded.execution_work // 2)
+        result = run_query(TRIANGLE_SQL, database, cache=None, budget=budget)
+        assert result.outcome.partial
+        assert result.rows is None

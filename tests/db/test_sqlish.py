@@ -3,7 +3,8 @@
 import pytest
 
 from repro.db.database import Database
-from repro.db.sqlish import parse_select_query
+from repro.db.sqlish import SqlError, parse_select_query
+from repro.runtime.errors import UserError
 
 
 @pytest.fixture
@@ -71,6 +72,106 @@ class TestErrors:
     def test_duplicate_alias_rejected(self, schema):
         with pytest.raises(ValueError):
             parse_select_query("SELECT MIN(a) FROM R AS x, S AS x WHERE x.b = x.b", schema)
+
+
+class TestHardenedDialect:
+    """Regression tests for the front-door parser hardening."""
+
+    def test_sql_error_is_both_value_error_and_user_error(self, schema):
+        with pytest.raises(SqlError) as excinfo:
+            parse_select_query("SELECT MIN(a) FROM R JOIN S", schema)
+        assert isinstance(excinfo.value, ValueError)
+        assert isinstance(excinfo.value, UserError)
+        assert excinfo.value.exit_code == 2
+
+    def test_quoted_identifiers(self, schema):
+        query = parse_select_query(
+            'SELECT MIN("a") FROM "R" JOIN `S` ON "R"."b" = `S`.`b`', schema
+        )
+        assert len(query.atoms) == 2
+        assert query.atom("R").variable_of("b") == query.atom("S").variable_of("b")
+
+    def test_inner_join_and_trailing_semicolon(self, schema):
+        query = parse_select_query(
+            "SELECT MIN(a) FROM R INNER JOIN S ON R.b = S.b;", schema
+        )
+        assert len(query.atoms) == 2
+
+    def test_join_without_on_rejected(self, schema):
+        with pytest.raises(SqlError, match="ON"):
+            parse_select_query("SELECT MIN(a) FROM R JOIN S", schema)
+
+    def test_unknown_table_is_sql_error_not_crash(self, schema):
+        with pytest.raises(SqlError, match="nowhere"):
+            parse_select_query("SELECT MIN(a) FROM nowhere", schema)
+
+    def test_duplicate_alias_message_names_both_tables(self, schema):
+        with pytest.raises(SqlError, match="R") as excinfo:
+            parse_select_query(
+                "SELECT MIN(a) FROM R AS x, S AS x WHERE x.b = x.b", schema
+            )
+        assert "S" in str(excinfo.value)
+
+    def test_self_join_via_distinct_aliases(self, schema):
+        query = parse_select_query(
+            "SELECT COUNT(e1.s) FROM E AS e1 JOIN E AS e2 ON e1.d = e2.s",
+            schema,
+        )
+        assert [atom.relation for atom in query.atoms] == ["E", "E"]
+        assert query.atom("e1").variable_of("d") == query.atom("e2").variable_of("s")
+
+    def test_unknown_alias_qualifier_rejected(self, schema):
+        with pytest.raises(SqlError, match="zz"):
+            parse_select_query("SELECT MIN(a) FROM R WHERE zz.b = R.a", schema)
+
+    def test_column_missing_from_aliased_table_rejected(self, schema):
+        with pytest.raises(SqlError, match="c"):
+            parse_select_query("SELECT MIN(R.c) FROM R", schema)
+
+    def test_ambiguous_unqualified_column_names_candidates(self, schema):
+        # "c" exists in both S and T.
+        with pytest.raises(SqlError) as excinfo:
+            parse_select_query("SELECT MIN(c) FROM S, T WHERE S.b = T.a", schema)
+        message = str(excinfo.value)
+        assert "S" in message and "T" in message
+
+    def test_constants_rejected(self, schema):
+        with pytest.raises(SqlError, match="constant"):
+            parse_select_query("SELECT MIN(a) FROM R WHERE R.b = 5", schema)
+
+    @pytest.mark.parametrize(
+        "clause",
+        [
+            "SELECT MIN(a) FROM R LEFT JOIN S ON R.b = S.b",
+            "SELECT MIN(a) FROM R, S WHERE R.b = S.b GROUP BY a",
+            "SELECT MIN(a) FROM R, S WHERE R.b = S.b ORDER BY a",
+            "SELECT MIN(a) FROM R, S WHERE R.b = S.b LIMIT 5",
+            "SELECT MIN(a) FROM R, S WHERE R.b = S.b OR R.a = S.c",
+            "SELECT MIN(a) FROM R, S WHERE R.b > S.b",
+            "SELECT MIN(a) FROM R, S WHERE R.b != S.b",
+            "SELECT MIN(a) FROM R WHERE R.b IN (SELECT b FROM S)",
+            "SELECT MIN(a) FROM R WHERE R.b LIKE 'x'",
+            "SELECT DISTINCT MIN(a) FROM R",
+            "SELECT MIN(a) FROM (SELECT b FROM S) AS sub",
+        ],
+    )
+    def test_unsupported_constructs_rejected(self, schema, clause):
+        with pytest.raises(SqlError):
+            parse_select_query(clause, schema)
+
+    def test_select_star_full_join(self, schema):
+        query = parse_select_query("SELECT * FROM R, S WHERE R.b = S.b", schema)
+        assert query.aggregate is None
+        # Every column of both tables becomes a variable; the join columns
+        # share one class: {a, b=b, c} -> 3 variables.
+        assert query.hypergraph().num_vertices() == 3
+
+    def test_within_table_equality_repeats_variable(self, schema):
+        query = parse_select_query(
+            "SELECT MIN(E.s) FROM E, R WHERE E.s = E.d AND E.s = R.a", schema
+        )
+        e_atom = query.atom("E")
+        assert e_atom.variable_of("s") == e_atom.variable_of("d")
 
 
 class TestPaperQueries:

@@ -1,0 +1,136 @@
+"""Fault-path tests for the ``repro query`` front door.
+
+Three failure families, each of which must degrade loudly and honestly:
+
+* **budget exhaustion** mid-pipeline → no rows, honest work counters and
+  the distinct exit code 125;
+* a **poisoned cache entry** for the query's own shape → quarantined or
+  rejected at re-certification, then transparently re-solved so the
+  answer never changes;
+* **malformed SQL** → a one-line ``error:`` diagnostic and exit code 2,
+  never a traceback.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.cache import DecompositionCache
+from repro.db.frontdoor import run_query
+from repro.runtime.budget import Budget
+from repro.workloads.joblite import build_joblite_database, joblite_query
+
+
+def run_cli(arguments):
+    out = io.StringIO()
+    code = cli_main(arguments, out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture(scope="module")
+def database():
+    return build_joblite_database(scale=1.0)
+
+
+class TestBudgetExhaustion:
+    def test_cli_exits_125_with_no_result(self):
+        code, output = run_cli(["query", "--name", "jl02", "--max-work", "200"])
+        assert code == 125
+        assert "result: none (run stopped early)" in output
+        assert "outcome: budget_exhausted" in output
+        # No rows or aggregate line may sneak out of a cut run.
+        assert "count_v0 =" not in output
+
+    def test_api_returns_no_rows_with_honest_counters(self, database):
+        budget = Budget(max_work=200)
+        result = run_query(
+            joblite_query(database, "jl02"), database, cache=None, budget=budget
+        )
+        assert result.outcome.partial
+        assert result.outcome.status == "budget_exhausted"
+        assert result.rows is None and result.value is None
+        # Work is charged in batches, so the counter may overshoot the
+        # cap by one charge — but it must at least have reached it.
+        assert result.outcome.work >= 200
+
+    def test_generous_budget_still_completes(self):
+        code, output = run_cli(
+            ["query", "--name", "jl02", "--max-work", "100000000", "--no-cache"]
+        )
+        assert code == 0
+        assert "count_v0 = 1567" in output
+
+
+class TestPoisonedCache:
+    def poison(self, store, mutate):
+        """Rewrite every cache entry through ``mutate(record)``."""
+        entries = store.entries()
+        assert entries, "expected the cold run to have populated the cache"
+        for info in entries:
+            with open(info.path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+            mutate(record)
+            with open(info.path, "w", encoding="utf-8") as handle:
+                json.dump(record, handle)
+
+    def test_bad_bags_are_rejected_and_resolved(self, database, tmp_path):
+        store = DecompositionCache(str(tmp_path))
+        query = joblite_query(database, "jl01")
+        cold = run_query(query, database, cache=store)
+        assert cold.provenance == "solve"
+
+        def break_bags(record):
+            if record.get("decompositions"):
+                record["decompositions"] = [{"bags": [[0]], "parents": [None]}]
+
+        self.poison(store, break_bags)
+        healed = run_query(query, database, cache=store)
+        # The poisoned CTD failed re-certification; the front door must
+        # re-solve rather than execute against it — same answer as cold.
+        assert store.stats.rejected >= 1
+        assert healed.provenance == "solve"
+        assert healed.value == cold.value and healed.rows == cold.rows
+        # The healed entry serves correctly on the next run.
+        warm = run_query(query, database, cache=store)
+        assert warm.provenance == "cache"
+        assert warm.value == cold.value
+
+    def test_unparseable_entry_is_quarantined(self, database, tmp_path):
+        store = DecompositionCache(str(tmp_path))
+        query = joblite_query(database, "jl01")
+        cold = run_query(query, database, cache=store)
+        for info in store.entries():
+            with open(info.path, "w", encoding="utf-8") as handle:
+                handle.write("{ not json")
+        healed = run_query(query, database, cache=store)
+        assert store.stats.quarantined >= 1
+        assert any(path.endswith(".corrupt") for path in store.quarantined())
+        assert healed.value == cold.value
+
+
+class TestMalformedSql:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELEKT a FROM R",
+            "SELECT MIN(t_id) FROM no_such_table",
+            "SELECT MIN(t_id) FROM title WHERE t_id = 5",
+            "SELECT MIN(t_id) FROM title LEFT JOIN name ON t_id = n_id",
+        ],
+    )
+    def test_cli_prints_one_error_line_and_exits_2(self, sql):
+        code, output = run_cli(["query", "--sql", sql, "--no-cache"])
+        assert code == 2
+        lines = [line for line in output.splitlines() if line]
+        assert len(lines) == 1
+        assert lines[0].startswith("error:")
+        assert "Traceback" not in output
+
+    def test_missing_file_is_a_user_error(self, tmp_path):
+        code, output = run_cli(
+            ["query", "--file", str(tmp_path / "absent.sql"), "--no-cache"]
+        )
+        assert code == 2
+        assert output.startswith("error:")
